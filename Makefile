@@ -1,0 +1,28 @@
+# Convenience targets for the Amber reproduction.
+
+.PHONY: install test bench artifacts examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/ -q
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+artifacts:
+	python -m repro all
+
+examples:
+	python examples/quickstart.py
+	python examples/sor_speedup.py
+	python examples/distributed_philosophers.py
+	python examples/custom_scheduler.py
+	python examples/mobile_directory.py
+	python examples/parallel_queens.py
+	python examples/replicated_matmul.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

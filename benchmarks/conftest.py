@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark runs a *simulated* experiment: the interesting output is
+the simulated latency/speedup (asserted against the paper's shape), and
+pytest-benchmark records the wall-clock cost of regenerating it.  Heavy
+sweeps use ``benchmark.pedantic(rounds=1)`` so the suite stays fast.
+"""
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture and return its
+    result (sweeps are deterministic; re-running them only burns time)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Figure 3: effect of varying the SOR problem size at 4Nx4P.
+
+Shape: speedup rises steeply with grid size, then flattens below the
+16-CPU ideal; the paper's 122x842 grid ("X") lands near its Figure 2
+value for 4Nx4P.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.figure3 import main as figure3_main
+from repro.bench.figure3 import run_figure3
+
+ITERATIONS = 10
+
+
+@pytest.fixture(scope="module")
+def figure3_points():
+    return run_figure3(iterations=ITERATIONS)
+
+
+def test_figure3_regenerates(benchmark):
+    points = once(benchmark, lambda: run_figure3(iterations=ITERATIONS))
+    assert len(points) == 6
+    print()
+    print(figure3_main(iterations=ITERATIONS))
+
+
+def test_speedup_monotone_in_problem_size(figure3_points, benchmark):
+    points = once(benchmark, lambda: figure3_points)
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)
+
+
+def test_small_grids_communication_bound(figure3_points, benchmark):
+    """"for sufficiently small grids [communication] will dominate
+    computation and limit speedup"."""
+    points = once(benchmark, lambda: figure3_points)
+    assert points[0].speedup < 0.6 * 16
+
+
+def test_large_grids_approach_ideal(figure3_points, benchmark):
+    points = once(benchmark, lambda: figure3_points)
+    assert points[-1].speedup > 0.85 * 16
+
+
+def test_curve_flattens(figure3_points, benchmark):
+    """The marginal gain from quadrupling the problem shrinks."""
+    points = once(benchmark, lambda: figure3_points)
+    first_jump = points[1].speedup - points[0].speedup
+    last_jump = points[-1].speedup - points[-2].speedup
+    assert last_jump < first_jump
+
+
+def test_paper_grid_is_marked(figure3_points, benchmark):
+    points = once(benchmark, lambda: figure3_points)
+    marked = [p for p in points if p.is_paper_grid]
+    assert len(marked) == 1
+    assert marked[0].points == 122 * 842

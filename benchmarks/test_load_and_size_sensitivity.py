@@ -1,0 +1,114 @@
+"""Section 5's caveats about Table 1, made measurable.
+
+The paper qualifies its microbenchmarks: "These timings should be
+regarded as rough indications of the cost of the operations under light
+load conditions.  Operations involving thread scheduling or network
+communication are more expensive on a heavily loaded system", and "the
+benchmarks assume that all moving objects and threads will fit in a
+network packet".
+
+Two sweeps verify both statements on the simulator:
+
+* remote invoke latency vs. background load (CPU + network);
+* object move latency vs. object size (linear in bytes at 0.8 us/byte).
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.core.costs import CostModel
+from repro.sim.cluster import ClusterConfig
+from repro.sim.objects import SimObject
+from repro.sim.program import AmberProgram
+from repro.sim.syscalls import Compute, Fork, Invoke, Join, MoveTo, New
+
+
+class Target(SimObject):
+    def op(self, ctx):
+        if False:
+            yield None
+
+
+class Noise(SimObject):
+    """Background load: compute-bound threads plus remote chatter."""
+
+    def burn(self, ctx, us):
+        yield Compute(us)
+
+    def chatter(self, ctx, peer, rounds):
+        for _ in range(rounds):
+            yield Invoke(peer, "op")
+
+
+def remote_invoke_under_load(loaded: bool) -> float:
+    def main(ctx):
+        target = yield New(Target, size_bytes=1000)
+        yield MoveTo(target, 1)
+        noise_threads = []
+        if loaded:
+            # Saturate both nodes' CPUs and put traffic on the wire.
+            for node in (0, 1):
+                burner = yield New(Noise, on_node=node)
+                for _ in range(4):
+                    noise_threads.append(
+                        (yield Fork(burner, "burn", 200_000)))
+            far = yield New(Target, on_node=1, size_bytes=1000)
+            chatterer = yield New(Noise, on_node=0)
+            noise_threads.append(
+                (yield Fork(chatterer, "chatter", far, 20)))
+            yield Compute(5_000)   # let the noise get going
+        t0 = ctx.now_us
+        yield Invoke(target, "op")
+        elapsed = ctx.now_us - t0
+        for thread in noise_threads:
+            yield Join(thread)
+        return elapsed
+
+    program = AmberProgram(ClusterConfig(nodes=2, cpus_per_node=4))
+    return program.run(main).value
+
+
+def move_latency_for_size(size_bytes: int) -> float:
+    def main(ctx):
+        obj = yield New(Target, size_bytes=size_bytes)
+        t0 = ctx.now_us
+        yield MoveTo(obj, 1)
+        return ctx.now_us - t0
+
+    program = AmberProgram(ClusterConfig(nodes=2, cpus_per_node=4))
+    return program.run(main).value
+
+
+@pytest.fixture(scope="module")
+def load_results():
+    return {"light": remote_invoke_under_load(False),
+            "heavy": remote_invoke_under_load(True)}
+
+
+def test_light_load_matches_table1(benchmark, load_results):
+    got = once(benchmark, lambda: load_results)
+    assert got["light"] == pytest.approx(8_320, rel=0.01)
+
+
+def test_heavy_load_is_more_expensive(benchmark, load_results):
+    """The paper's caveat, verified: under CPU and network load the same
+    remote invocation costs measurably more (queueing for CPUs at both
+    ends and for the shared wire)."""
+    got = once(benchmark, lambda: load_results)
+    assert got["heavy"] > 1.2 * got["light"]
+
+
+def test_move_cost_linear_in_object_size(benchmark):
+    sizes = [1_000, 10_000, 100_000, 1_000_000]
+    latencies = once(benchmark, lambda: [move_latency_for_size(size)
+                                         for size in sizes])
+    per_byte = CostModel.firefly().per_byte_us
+    for size, latency in zip(sizes, latencies):
+        predicted = 12_430 + (size - 1_000) * per_byte
+        assert latency == pytest.approx(predicted, rel=0.01)
+
+
+def test_packet_sized_moves_are_the_cheap_case(benchmark):
+    small, big = once(benchmark, lambda: (move_latency_for_size(1_000),
+                                          move_latency_for_size(64_000)))
+    assert big > 4 * small

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Dynamic parallelism: N-Queens over a distributed work pool.
+
+SOR (the paper's application) is regular and static.  This example shows
+the other side of the model the paper's introduction promises — dynamic,
+irregular work balanced at runtime: a shared WorkPool object hands
+partial board positions to worker threads spread over the cluster; each
+take/report is a function-shipped invocation of the pool.
+
+It also demonstrates a real distributed-systems lesson the paper's model
+makes easy to *see*: a centralized hot object becomes a bottleneck as the
+cluster grows, and batching work units trades pool traffic against
+load-balance granularity.
+
+Run:  python examples/parallel_queens.py
+"""
+
+from repro.apps.queens import KNOWN_SOLUTIONS, run_amber_queens
+from repro.bench.reporting import render_table
+
+N = 11
+SPLIT_DEPTH = 2
+
+
+def main():
+    print(f"counting {N}-Queens solutions "
+          f"(expected: {KNOWN_SOLUTIONS[N]:,})\n")
+
+    rows = []
+    for nodes, cpus in [(1, 1), (1, 4), (2, 4), (4, 4), (8, 4)]:
+        result = run_amber_queens(n=N, nodes=nodes, cpus_per_node=cpus,
+                                  split_depth=SPLIT_DEPTH, batch=3)
+        assert result.solutions == KNOWN_SOLUTIONS[N]
+        rows.append((f"{nodes}Nx{cpus}P", nodes * cpus, result.speedup,
+                     result.stats.total_remote_invocations,
+                     f"{result.load_imbalance:.2f}"))
+    print(render_table(
+        ["Config", "CPUs", "Speedup", "Pool invocations (remote)",
+         "Max/mean units"],
+        rows, title="Work-pool N-Queens on the simulated cluster"))
+
+    print("\nbatching ablation at 8Nx4P (pool traffic vs balance):")
+    batch_rows = []
+    for batch in (1, 2, 4, 8):
+        result = run_amber_queens(n=N, nodes=8, cpus_per_node=4,
+                                  split_depth=3, batch=batch)
+        batch_rows.append((batch, result.speedup,
+                           result.stats.total_remote_invocations))
+    print(render_table(["Batch", "Speedup", "Pool invocations"],
+                       batch_rows))
+    print("\nthe pool is a deliberately centralized hot object: scaling "
+          "flattens as its node\nsaturates — the locality/load tension "
+          "the paper leaves to the programmer.")
+
+
+if __name__ == "__main__":
+    main()

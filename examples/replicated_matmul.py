@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Immutable replication at work: distributed block matrix multiply.
+
+``C = A @ B`` with A's row-blocks spread across four simulated nodes.
+Every worker needs all of B.  Mutable B forces each worker to fetch
+column blocks through remote invocations over and over; marking B
+immutable (``SetImmutable``) lets the kernel hand each node one replica,
+after which every read is local — the paper's §2.3 replication facility
+carrying a real numeric workload.
+
+Run:  python examples/replicated_matmul.py
+"""
+
+import numpy as np
+
+from repro.apps.matmul import run_matmul
+from repro.bench.reporting import render_table
+
+
+def main():
+    m = k = n = 128
+    nodes = 4
+    print(f"C = A @ B with A: {m}x{k}, B: {k}x{n}, "
+          f"A split over {nodes} nodes\n")
+
+    rows = []
+    results = {}
+    for replicate in (False, True):
+        # Four sweeps over B, like an iterative algorithm: replication
+        # pays its one-time transfer off across the reuse.
+        result = run_matmul(m=m, k=k, n=n, nodes=nodes,
+                            replicate_b=replicate, rounds=4)
+        results[replicate] = result
+        rows.append((
+            "immutable B (replicated)" if replicate else "mutable B",
+            result.speedup,
+            result.stats.thread_migrations,
+            result.stats.replications,
+            result.network_bytes // 1024,
+        ))
+    print(render_table(
+        ["B's treatment", "Speedup", "Thread migrations",
+         "Replicas", "KB on wire"],
+        rows))
+
+    same = np.allclose(results[True].product, results[False].product,
+                       rtol=1e-4)
+    print(f"\nboth runs computed the same product: {same}")
+    print("one replica per node replaced a stream of per-block fetches —")
+    print("mark read-only data immutable and the communication vanishes.")
+
+
+if __name__ == "__main__":
+    main()

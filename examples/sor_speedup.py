@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The paper's evaluation in miniature: SOR speedup on the simulator.
+
+Runs the Red/Black SOR program of section 6 on the simulated cluster for
+a handful of Figure 2 configurations, prints the speedup table, and
+verifies the numerics against the sequential solver.  A fast version of
+``python -m repro.bench.figure2`` with commentary.
+
+Run:  python examples/sor_speedup.py
+"""
+
+import numpy as np
+
+from repro.apps.sor import SorProblem, run_amber_sor, run_sequential_sor
+from repro.bench.reporting import render_table
+
+
+def main():
+    # The paper's grid, fewer iterations (speedup is steady-state).
+    problem = SorProblem(rows=122, cols=842, iterations=10)
+    print(f"problem: {problem.rows}x{problem.cols} grid "
+          f"({problem.points:,} points), {problem.iterations} iterations\n")
+
+    sequential = run_sequential_sor(problem)
+    print(f"sequential baseline: {sequential.elapsed_us / 1e6:.2f} "
+          f"simulated seconds\n")
+
+    rows = []
+    configs = [(1, 1), (1, 4), (2, 4), (4, 4), (8, 4)]
+    for nodes, cpus in configs:
+        result = run_amber_sor(problem, nodes=nodes, cpus_per_node=cpus)
+        rows.append((result.label, nodes * cpus, result.speedup,
+                     result.speedup / (nodes * cpus),
+                     result.stats.thread_migrations))
+    # The overlap ablation the paper highlights at 8Nx4P.
+    no_overlap = run_amber_sor(problem, nodes=8, cpus_per_node=4,
+                               overlap=False)
+    rows.append(("8Nx4P (no overlap)", 32, no_overlap.speedup,
+                 no_overlap.speedup / 32,
+                 no_overlap.stats.thread_migrations))
+
+    print(render_table(
+        ["Config", "CPUs", "Speedup", "Efficiency", "Thread migrations"],
+        rows,
+        title="Amber Red/Black SOR speedup (simulated Firefly cluster)"))
+
+    # The parallel program computes *bitwise identical* results.
+    check = run_amber_sor(problem, nodes=4, cpus_per_node=4,
+                          collect_grid=True)
+    identical = np.array_equal(check.grid, sequential.grid)
+    print(f"\n4Nx4P grid bitwise identical to sequential: {identical}")
+    assert identical
+
+
+if __name__ == "__main__":
+    main()

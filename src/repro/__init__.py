@@ -1,0 +1,28 @@
+"""Reproduction of the Amber system (Chase et al., SOSP 1989).
+
+Amber lets a single parallel program treat a network of shared-memory
+multiprocessors as one machine: a network-wide shared object space with
+function-shipping invocation, explicit object mobility, and cheap threads.
+
+Two execution backends share one object model:
+
+:mod:`repro.sim`
+    A deterministic discrete-event simulation of the paper's testbed
+    (multiprocessor nodes on a shared Ethernet) used to regenerate every
+    table and figure in the evaluation.
+:mod:`repro.runtime`
+    A live distributed runtime — one OS process per node, pickle over
+    sockets — demonstrating the same programming model for real.
+
+Supporting packages: :mod:`repro.core` (address space, descriptors,
+forwarding, costs), :mod:`repro.dsm` (the Ivy-style page-based baseline of
+section 4), :mod:`repro.apps` (Red/Black SOR and other workloads), and
+:mod:`repro.bench` (drivers for each table, figure, and ablation).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.costs import CostModel
+from repro.errors import AmberError
+
+__all__ = ["AmberError", "CostModel", "__version__"]

@@ -1,0 +1,7 @@
+"""Application workloads built on the Amber reproduction.
+
+``repro.apps.sor`` is the paper's evaluation application: Red/Black
+Successive Over-Relaxation solving Laplace's equation on a plate (section
+6) — a sequential baseline, the Amber version with the thread structure of
+Figure 1, and an Ivy-style DSM port used by the section 4 ablations.
+"""

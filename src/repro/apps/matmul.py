@@ -1,0 +1,164 @@
+"""Distributed block matrix multiply: replication in a numeric workload.
+
+``C = A @ B`` with A's row-blocks spread across the nodes, one worker
+thread per row-block.  Every worker needs *all* of B, which makes B the
+interesting object:
+
+* **mutable B** — each worker pulls B's column blocks by value through
+  remote invocations (``result_bytes`` models the transfer), paying a
+  thread round trip plus the data wire time per block, per worker;
+* **immutable B** (``SetImmutable``) — the first touch from each node
+  installs a local replica; every later read is local.  This is section
+  2.3's replication story with real arithmetic behind it.
+
+The numerics are real (float32 blocks, verified against ``A @ B``);
+simulated compute is charged per multiply-accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.sor.grid import VALUE_BYTES
+from repro.core.costs import CostModel
+from repro.sim.cluster import ClusterConfig
+from repro.sim.objects import SimObject
+from repro.sim.program import AmberProgram
+from repro.sim.stats import ClusterStats
+from repro.sim.syscalls import (
+    Charge,
+    Compute,
+    Fork,
+    Invoke,
+    Join,
+    New,
+    SetImmutable,
+)
+
+#: Simulated cost of one multiply-accumulate, microseconds (CVAX-class
+#: F-floating multiply + add + addressing).
+DEFAULT_MAC_US = 3.0
+
+
+class MatrixB(SimObject):
+    """The shared right-hand matrix, stored whole on one node (or
+    replicated everywhere once marked immutable)."""
+
+    def __init__(self, values: np.ndarray):
+        self.values = np.ascontiguousarray(values, dtype=np.float32)
+
+    def shape(self, ctx):
+        yield Charge(1.0)
+        return self.values.shape
+
+    def get_columns(self, ctx, col_lo, col_hi):
+        yield Charge(2.0)
+        return self.values[:, col_lo:col_hi].copy()
+
+
+class RowBlockWorker(SimObject):
+    """Owns one horizontal stripe of A and computes that stripe of C."""
+
+    def __init__(self, a_block: np.ndarray, b: MatrixB,
+                 col_block: int, mac_us: float):
+        self.a_block = np.ascontiguousarray(a_block, dtype=np.float32)
+        self.b = b
+        self.col_block = col_block
+        self.mac_us = mac_us
+        self.result: Optional[np.ndarray] = None
+
+    def multiply(self, ctx, rounds=1):
+        """Compute the stripe ``rounds`` times (iterative algorithms
+        re-read B every sweep; replication pays off on the reuse)."""
+        rows, inner = self.a_block.shape
+        _, cols = yield Invoke(self.b, "shape")
+        out = np.zeros((rows, cols), dtype=np.float32)
+        for _ in range(rounds):
+            for col_lo in range(0, cols, self.col_block):
+                col_hi = min(cols, col_lo + self.col_block)
+                block_bytes = inner * (col_hi - col_lo) * VALUE_BYTES
+                b_cols = yield Invoke(self.b, "get_columns", col_lo,
+                                      col_hi, result_bytes=block_bytes)
+                macs = rows * inner * (col_hi - col_lo)
+                yield Compute(macs * self.mac_us)
+                out[:, col_lo:col_hi] = self.a_block @ b_cols
+        self.result = out
+        return rows * cols
+
+    def collect(self, ctx):
+        yield Charge(2.0)
+        return self.result
+
+
+@dataclass
+class MatmulResult:
+    m: int
+    k: int
+    n: int
+    nodes: int
+    replicate_b: bool
+    elapsed_us: float
+    sequential_us: float
+    stats: ClusterStats
+    network_bytes: int
+    product: np.ndarray
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_us / self.elapsed_us
+
+
+def run_matmul(m: int = 96, k: int = 96, n: int = 96,
+               nodes: int = 4, cpus_per_node: int = 2,
+               replicate_b: bool = True,
+               rounds: int = 1,
+               col_block: Optional[int] = None,
+               mac_us: float = DEFAULT_MAC_US,
+               costs: Optional[CostModel] = None,
+               seed: int = 7) -> MatmulResult:
+    """Multiply random ``m x k`` by ``k x n`` on a simulated cluster, one
+    row-block (and one worker thread) per node."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k), dtype=np.float32)
+    b_values = rng.standard_normal((k, n), dtype=np.float32)
+    block = col_block if col_block is not None else max(8, n // 4)
+
+    def main(ctx):
+        b = yield New(MatrixB, b_values,
+                      size_bytes=k * n * VALUE_BYTES)
+        if replicate_b:
+            yield SetImmutable(b)
+        workers = []
+        for node in range(nodes):
+            row_lo = m * node // nodes
+            row_hi = m * (node + 1) // nodes
+            workers.append((yield New(
+                RowBlockWorker, a[row_lo:row_hi], b, block, mac_us,
+                on_node=node,
+                size_bytes=(row_hi - row_lo) * k * VALUE_BYTES)))
+        threads = []
+        for worker in workers:
+            threads.append((yield Fork(worker, "multiply", rounds)))
+        for thread in threads:
+            yield Join(thread)
+        t_done = ctx.now_us
+        blocks = []
+        for worker in workers:
+            blocks.append((yield Invoke(worker, "collect")))
+        return t_done, blocks
+
+    config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node)
+    result = AmberProgram(config, costs).run(main)
+    t_done, blocks = result.value
+    product = np.vstack(blocks)
+    return MatmulResult(
+        m=m, k=k, n=n, nodes=nodes, replicate_b=replicate_b,
+        elapsed_us=t_done,
+        sequential_us=m * k * n * mac_us * rounds,
+        stats=result.stats,
+        network_bytes=result.cluster.network.stats.bytes,
+        product=product,
+    )

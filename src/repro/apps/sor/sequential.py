@@ -1,0 +1,62 @@
+"""The sequential SOR baseline.
+
+The paper measures every speedup "relative to a sequential C++
+implementation used as the baseline case" — a plain program with no Amber
+overheads.  Its simulated running time is therefore purely the compute
+cost: ``iterations x points x per_point_us`` (convergence checks excluded,
+exactly as a tight sequential loop has no cross-node bookkeeping).
+
+The numerics are run for real so parallel implementations can be checked
+for bitwise-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.sor.grid import SorProblem, make_grid, sor_iterate
+
+#: Default CPU cost of one point update, microseconds.  Calibrated for a
+#: CVAX-class processor (a handful of F-floating operations plus loop
+#: overhead); together with the Table 1 communication costs this reproduces
+#: the compute/communication ratio behind Figures 2 and 3.
+DEFAULT_POINT_UPDATE_US = 40.0
+
+
+@dataclass
+class SequentialSorResult:
+    problem: SorProblem
+    grid: np.ndarray
+    iterations_run: int
+    final_delta: float
+    #: Simulated sequential running time, microseconds.
+    elapsed_us: float
+
+
+def sequential_time_us(problem: SorProblem, iterations: int,
+                       per_point_us: float = DEFAULT_POINT_UPDATE_US) -> float:
+    """The baseline's simulated time for ``iterations`` full sweeps."""
+    return float(iterations) * problem.points * per_point_us
+
+
+def run_sequential_sor(problem: SorProblem,
+                       per_point_us: float = DEFAULT_POINT_UPDATE_US
+                       ) -> SequentialSorResult:
+    """Run the baseline: real numerics, analytic simulated time."""
+    grid = make_grid(problem)
+    delta = float("inf")
+    iterations_run = 0
+    for _ in range(problem.iterations):
+        delta = sor_iterate(grid, problem.omega)
+        iterations_run += 1
+        if problem.tolerance > 0 and delta < problem.tolerance:
+            break
+    return SequentialSorResult(
+        problem=problem,
+        grid=grid,
+        iterations_run=iterations_run,
+        final_delta=delta,
+        elapsed_us=sequential_time_us(problem, iterations_run, per_point_us),
+    )

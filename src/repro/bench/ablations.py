@@ -1,0 +1,478 @@
+"""Ablations: the design claims of sections 2.3, 3.3, 3.5 and 4, measured.
+
+The paper argues these qualitatively; each function here turns one claim
+into a measurement on the simulated cluster (same cost model and network
+for both systems, so comparisons are apples to apples):
+
+* A1 ``amber_vs_ivy_sor``   — function shipping vs data shipping on SOR
+* A2 ``lock_thrash``        — shared lock: Amber object vs DSM TAS page
+                              vs DSM RPC-lock escape hatch (section 4.1)
+* A3 ``false_sharing``      — unrelated objects sharing a page (4.2)
+* A4 ``move_cost_vs_cpus``  — preempt-all makes moves dearer per CPU (3.5)
+* A5 ``forwarding_chase``   — chain chase once, then cached (3.3)
+* A6 ``immutable_replication`` — read-only replication kills repeat
+                              communication (2.3)
+
+Run: ``python -m repro.bench.ablations``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.apps.sor import SorProblem, run_amber_sor
+from repro.apps.sor.ivy_sor import run_ivy_sor
+from repro.bench.reporting import render_table
+from repro.dsm.machine import IvyCluster
+from repro.dsm.ops import (
+    Compute as IvyCompute,
+    Load,
+    RpcLockAcquire,
+    RpcLockRelease,
+    Store,
+    TestAndSet,
+)
+from repro.sim.cluster import ClusterConfig
+from repro.sim.objects import SimObject
+from repro.sim.program import AmberProgram
+from repro.sim.sync import Lock
+from repro.sim.syscalls import (
+    Compute,
+    Fork,
+    GetStats,
+    Invoke,
+    Join,
+    MoveTo,
+    New,
+    SetImmutable,
+)
+
+# ---------------------------------------------------------------------------
+# A1: Amber vs Ivy on SOR
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SorComparisonRow:
+    label: str
+    amber_speedup: float
+    ivy_speedup: float
+    ivy_faults: int
+    ivy_page_transfers: int
+    amber_messages: int
+    ivy_messages: int
+
+
+def amber_vs_ivy_sor(iterations: int = 10,
+                     configs=((1, 4), (2, 4), (4, 4), (8, 4)),
+                     ) -> List[SorComparisonRow]:
+    problem = SorProblem(iterations=iterations)
+    rows = []
+    for nodes, cpus in configs:
+        amber = run_amber_sor(problem, nodes=nodes, cpus_per_node=cpus)
+        ivy = run_ivy_sor(problem, nodes=nodes, cpus_per_node=cpus)
+        rows.append(SorComparisonRow(
+            label=f"{nodes}Nx{cpus}P",
+            amber_speedup=amber.speedup,
+            ivy_speedup=ivy.speedup,
+            ivy_faults=ivy.stats.total_faults,
+            ivy_page_transfers=ivy.stats.page_transfers,
+            amber_messages=amber.cluster.network.stats.messages,
+            ivy_messages=ivy.network_messages,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A2: lock thrashing (section 4.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LockThrashRow:
+    system: str
+    elapsed_us: float
+    us_per_critical_section: float
+    network_messages: int
+    network_bytes: int
+    #: Total CPU consumed across the cluster (spinning shows up here).
+    cpu_busy_us: float
+    hottest_page_transfers: int
+
+
+class _SharedCounter(SimObject):
+    def __init__(self, lock):
+        self.lock = lock
+        self.value = 0
+
+    def bump(self, ctx, rounds, work_us):
+        for _ in range(rounds):
+            yield Invoke(self.lock, "acquire")
+            yield Compute(work_us)
+            self.value += 1
+            yield Invoke(self.lock, "release")
+
+
+def _amber_lock_workload(nodes: int, rounds: int, work_us: float
+                         ) -> LockThrashRow:
+    def main(ctx):
+        lock = yield New(Lock)
+        counters = []
+        for node in range(nodes):
+            counter = yield New(_SharedCounter, lock, on_node=node)
+            counters.append(counter)
+        workers = []
+        for counter in counters:
+            workers.append((yield Fork(counter, "bump", rounds, work_us)))
+        for worker in workers:
+            yield Join(worker)
+        return sum(counter.value for counter in counters)
+
+    program = AmberProgram(ClusterConfig(nodes=nodes, cpus_per_node=2))
+    result = program.run(main)
+    total = nodes * rounds
+    return LockThrashRow(
+        system="Amber lock object",
+        elapsed_us=result.elapsed_us,
+        us_per_critical_section=result.elapsed_us / total,
+        network_messages=result.cluster.network.stats.messages,
+        network_bytes=result.cluster.network.stats.bytes,
+        cpu_busy_us=result.stats.total_cpu_busy_us,
+        hottest_page_transfers=0,
+    )
+
+
+LOCK_ADDR = 0
+DATA_ADDR = 64          # same page as the lock, like a naive port
+SPIN_BACKOFF_US = 100.0
+
+
+def _ivy_tas_process(cluster: IvyCluster, rounds: int, work_us: float):
+    for _ in range(rounds):
+        while True:
+            held = yield TestAndSet(LOCK_ADDR)
+            if not held:
+                break
+            yield IvyCompute(SPIN_BACKOFF_US)
+        value = yield Load(DATA_ADDR)
+        yield IvyCompute(work_us)
+        yield Store(DATA_ADDR, (value or 0) + 1)
+        yield Store(LOCK_ADDR, False)
+
+
+def _ivy_rpc_process(cluster: IvyCluster, rounds: int, work_us: float):
+    for _ in range(rounds):
+        yield RpcLockAcquire(0)
+        value = yield Load(DATA_ADDR)
+        yield IvyCompute(work_us)
+        yield Store(DATA_ADDR, (value or 0) + 1)
+        yield RpcLockRelease(0)
+
+
+def _ivy_lock_workload(nodes: int, rounds: int, work_us: float,
+                       rpc: bool) -> LockThrashRow:
+    cluster = IvyCluster(nodes, cpus_per_node=2)
+    fn = _ivy_rpc_process if rpc else _ivy_tas_process
+    for node in range(nodes):
+        cluster.spawn(node, fn, rounds, work_us, name=f"locker{node}")
+    cluster.run()
+    total = nodes * rounds
+    _, hottest = cluster.stats.hottest_page()
+    return LockThrashRow(
+        system=("DSM lock via RPC (recent Ivy)" if rpc
+                else "DSM test-and-set page"),
+        elapsed_us=cluster.elapsed_us,
+        us_per_critical_section=cluster.elapsed_us / total,
+        network_messages=cluster.network.stats.messages,
+        network_bytes=cluster.network.stats.bytes,
+        cpu_busy_us=sum(node.cpu_busy_us for node in cluster.nodes),
+        hottest_page_transfers=hottest,
+    )
+
+
+def lock_thrash(nodes: int = 4, rounds: int = 25,
+                work_us: float = 500.0) -> List[LockThrashRow]:
+    return [
+        _amber_lock_workload(nodes, rounds, work_us),
+        _ivy_lock_workload(nodes, rounds, work_us, rpc=True),
+        _ivy_lock_workload(nodes, rounds, work_us, rpc=False),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# A3: false sharing (section 4.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FalseSharingRow:
+    layout: str
+    network_messages: int
+    page_transfers: int
+    messages_per_update: float
+
+
+class _PrivateCounter(SimObject):
+    def __init__(self):
+        self.value = 0
+
+    def bump(self, ctx, rounds):
+        for _ in range(rounds):
+            yield Compute(UPDATE_GAP_US)
+            self.value += 1
+        return self.value
+
+
+#: Gap between a node's successive counter updates: long enough that the
+#: nodes' update streams interleave in time (sustained sharing) instead of
+#: one node finishing before the next starts.
+UPDATE_GAP_US = 2_000.0
+
+
+def _ivy_counter_process(cluster: IvyCluster, addr: int, rounds: int):
+    for _ in range(rounds):
+        value = yield Load(addr)
+        yield IvyCompute(UPDATE_GAP_US)
+        yield Store(addr, (value or 0) + 1)
+
+
+def false_sharing(nodes: int = 4, rounds: int = 50) -> List[FalseSharingRow]:
+    """Each node updates only its own counter.  Packed on one DSM page the
+    counters ping-pong; page-aligned they are quiet after first touch;
+    Amber objects never talk at all."""
+    total_updates = nodes * rounds
+    rows = []
+
+    # DSM, counters packed into one page (8 bytes apart).
+    packed = IvyCluster(nodes, cpus_per_node=2)
+    for node in range(nodes):
+        packed.spawn(node, _ivy_counter_process, node * 8, rounds,
+                     name=f"packed{node}")
+    packed.run()
+    rows.append(FalseSharingRow(
+        "DSM: counters packed in one page",
+        packed.network.stats.messages,
+        packed.stats.page_transfers,
+        packed.network.stats.messages / total_updates))
+
+    # DSM, counters on separate pages.
+    aligned = IvyCluster(nodes, cpus_per_node=2)
+    page = aligned.costs.page_bytes
+    for node in range(nodes):
+        aligned.spawn(node, _ivy_counter_process, node * page, rounds,
+                      name=f"aligned{node}")
+    aligned.run()
+    rows.append(FalseSharingRow(
+        "DSM: counters page-aligned",
+        aligned.network.stats.messages,
+        aligned.stats.page_transfers,
+        aligned.network.stats.messages / total_updates))
+
+    # Amber: one counter object per node, bumped by a local thread.
+    def main(ctx):
+        counters = []
+        for node in range(nodes):
+            counters.append((yield New(_PrivateCounter, on_node=node)))
+        workers = []
+        for counter in counters:
+            workers.append((yield Fork(counter, "bump", rounds)))
+        for worker in workers:
+            yield Join(worker)
+
+    program = AmberProgram(ClusterConfig(nodes=nodes, cpus_per_node=2))
+    result = program.run(main)
+    startup_messages = result.cluster.network.stats.messages
+    rows.append(FalseSharingRow(
+        "Amber: one object per node",
+        startup_messages,
+        0,
+        startup_messages / total_updates))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A4: move cost vs CPUs per node (section 3.5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MoveCostRow:
+    cpus_per_node: int
+    move_us: float
+
+
+def move_cost_vs_cpus(cpu_counts=(1, 2, 4, 8, 16)) -> List[MoveCostRow]:
+    rows = []
+    for cpus in cpu_counts:
+        def bench(ctx):
+            obj = yield New(_PrivateCounter, size_bytes=1000)
+            t0 = ctx.now_us
+            yield MoveTo(obj, 1)
+            return ctx.now_us - t0
+
+        program = AmberProgram(ClusterConfig(nodes=2, cpus_per_node=cpus))
+        rows.append(MoveCostRow(cpus, program.run(bench).value))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A5: forwarding chains (section 3.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ForwardingRow:
+    chain_hops: int
+    first_invoke_us: float
+    second_invoke_us: float
+
+
+class _Hopper(SimObject):
+    """Moves itself along a chain of nodes; only the nodes it visits learn
+    anything, so the origin's descriptor goes stale by one hop per move."""
+
+    SIZE_BYTES = 256
+
+    def hop_chain(self, ctx, k):
+        for step in range(1, k + 1):
+            yield MoveTo(self, step)
+        return ctx.node
+
+    def poke(self, ctx):
+        yield Compute(1.0)
+        return ctx.node
+
+
+def forwarding_chase(max_hops: int = 6) -> List[ForwardingRow]:
+    """An object walks 0 -> 1 -> ... -> k under its own power (a thread
+    bound to it drives the moves), so node 0 only ever saw the first hop.
+    Main's first invocation chases the whole forwarding chain; the second
+    goes direct thanks to path caching."""
+    rows = []
+    for hops in range(1, max_hops + 1):
+        def bench(ctx, k=hops):
+            obj = yield New(_Hopper)
+            walker = yield Fork(obj, "hop_chain", k)
+            yield Join(walker)
+            t0 = ctx.now_us
+            yield Invoke(obj, "poke")
+            first = ctx.now_us - t0
+            t0 = ctx.now_us
+            yield Invoke(obj, "poke")
+            second = ctx.now_us - t0
+            return first, second
+
+        program = AmberProgram(ClusterConfig(nodes=max_hops + 1,
+                                             cpus_per_node=2))
+        first, second = program.run(bench).value
+        rows.append(ForwardingRow(hops, first, second))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A6: immutable replication (section 2.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ImmutableRow:
+    mode: str
+    elapsed_us: float
+    network_messages: int
+    thread_migrations: int
+
+
+class _Table(SimObject):
+    """A lookup table read many times by remote nodes."""
+
+    SIZE_BYTES = 4096
+
+    def __init__(self):
+        self.entries = {i: i * i for i in range(64)}
+
+    def lookup(self, ctx, key):
+        yield Compute(2.0)
+        return self.entries[key % 64]
+
+
+class _TableReader(SimObject):
+    def read_many(self, ctx, table, times):
+        total = 0
+        for i in range(times):
+            total += yield Invoke(table, "lookup", i)
+        return total
+
+
+def immutable_replication(reads: int = 40) -> List[ImmutableRow]:
+    def run_mode(immutable: bool) -> ImmutableRow:
+        def main(ctx):
+            table = yield New(_Table)
+            if immutable:
+                yield SetImmutable(table)
+            reader = yield New(_TableReader, on_node=1)
+            t0 = ctx.now_us
+            result = yield Invoke(reader, "read_many", table, reads)
+            elapsed = ctx.now_us - t0
+            stats = yield GetStats()
+            return elapsed, stats.thread_migrations
+
+        program = AmberProgram(ClusterConfig(nodes=2, cpus_per_node=2))
+        result = program.run(main)
+        elapsed, migrations = result.value
+        return ImmutableRow(
+            mode="immutable (replicated)" if immutable else "mutable",
+            elapsed_us=elapsed,
+            network_messages=result.cluster.network.stats.messages,
+            thread_migrations=migrations,
+        )
+
+    return [run_mode(False), run_mode(True)]
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> str:
+    sections = []
+    sections.append(render_table(
+        ["Config", "Amber speedup", "Ivy speedup", "Ivy faults",
+         "Ivy transfers", "Amber msgs", "Ivy msgs"],
+        [(r.label, r.amber_speedup, r.ivy_speedup, r.ivy_faults,
+          r.ivy_page_transfers, r.amber_messages, r.ivy_messages)
+         for r in amber_vs_ivy_sor()],
+        title="A1: Function shipping (Amber) vs data shipping (Ivy), "
+              "Red/Black SOR"))
+    sections.append(render_table(
+        ["System", "us/crit.sec", "Messages", "KB on wire",
+         "CPU busy (ms)", "Hottest page transfers"],
+        [(r.system, r.us_per_critical_section, r.network_messages,
+          r.network_bytes / 1024, r.cpu_busy_us / 1000,
+          r.hottest_page_transfers)
+         for r in lock_thrash()],
+        title="A2: Shared lock, 4 nodes (section 4.1)"))
+    sections.append(render_table(
+        ["Layout", "Messages", "Page transfers", "Msgs/update"],
+        [(r.layout, r.network_messages, r.page_transfers,
+          r.messages_per_update)
+         for r in false_sharing()],
+        title="A3: False sharing, per-node private counters (section 4.2)"))
+    sections.append(render_table(
+        ["CPUs/node", "Move latency (us)"],
+        [(r.cpus_per_node, r.move_us) for r in move_cost_vs_cpus()],
+        title="A4: Object move cost vs CPUs per node (section 3.5)"))
+    sections.append(render_table(
+        ["Chain hops", "1st invoke (us)", "2nd invoke (us)"],
+        [(r.chain_hops, r.first_invoke_us, r.second_invoke_us)
+         for r in forwarding_chase()],
+        title="A5: Forwarding-chain chase and path caching (section 3.3)"))
+    sections.append(render_table(
+        ["Mode", "Elapsed (us)", "Messages", "Thread migrations"],
+        [(r.mode, r.elapsed_us, r.network_messages, r.thread_migrations)
+         for r in immutable_replication()],
+        title="A6: Remote reads of a shared table (section 2.3)"))
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,99 @@
+"""Figure 1: structure of the Amber Red/Black SOR implementation.
+
+Figure 1 is a structure diagram, not a data plot: three grid sections,
+each with computation threads, edge threads toward its neighbors, and a
+convergence thread talking to a single master.  This driver runs the real
+program on three sections (as drawn) and reports the topology it actually
+instantiated — section objects and their nodes, and the threads the run
+created, recovered from the simulated kernel.
+
+Run: ``python -m repro.bench.figure1``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.apps.sor import SorProblem, run_amber_sor
+from repro.apps.sor.amber_sor import SorMaster, SorSection
+
+
+@dataclass
+class SectionStructure:
+    index: int
+    node: int
+    workers: int
+    edge_threads: int
+    convergers: int
+
+
+@dataclass
+class SorStructure:
+    master_node: int
+    sections: List[SectionStructure]
+    total_threads: int
+
+    def describe(self) -> str:
+        lines = ["Figure 1: structure of the Amber Red/Black SOR "
+                 "implementation", ""]
+        lines.append(f"  master object @ node {self.master_node}")
+        for section in self.sections:
+            lines.append(
+                f"  section {section.index} @ node {section.node}: "
+                f"{section.workers} computation thread(s), "
+                f"{section.edge_threads} edge thread(s), "
+                f"{section.convergers} convergence thread(s)")
+        lines.append("")
+        lines.append(f"  total application threads: {self.total_threads} "
+                     f"(+ one coordinator per section, + main)")
+        return "\n".join(lines)
+
+
+def run_figure1(sections: int = 3, nodes: int = 3) -> SorStructure:
+    """Run a three-section SOR (as drawn in Figure 1) and recover the
+    instantiated topology from the simulated kernel."""
+    problem = SorProblem(rows=12, cols=36, iterations=2)
+    result = run_amber_sor(problem, nodes=nodes, cpus_per_node=2,
+                           sections=sections)
+    cluster = result.cluster
+
+    section_objs = sorted(
+        (obj for obj in cluster.objects.values()
+         if isinstance(obj, SorSection)),
+        key=lambda section: section.index)
+    masters = [obj for obj in cluster.objects.values()
+               if isinstance(obj, SorMaster)]
+
+    # Thread names encode their role: w<sec>.<i>, e<sec>.L/R, c<sec>.
+    counts: Dict[int, Dict[str, int]] = {
+        section.index: {"w": 0, "e": 0, "c": 0}
+        for section in section_objs}
+    app_threads = 0
+    for thread in cluster.kernel.threads:
+        name = thread.name
+        if name and name[0] in "wec" and name[1:2].isdigit():
+            index = int(name[1:].split(".")[0])
+            counts[index][name[0]] += 1
+            app_threads += 1
+
+    structures = [
+        SectionStructure(
+            index=section.index,
+            node=section.home_node,
+            workers=counts[section.index]["w"],
+            edge_threads=counts[section.index]["e"],
+            convergers=counts[section.index]["c"],
+        )
+        for section in section_objs
+    ]
+    return SorStructure(master_node=masters[0].home_node,
+                        sections=structures, total_threads=app_threads)
+
+
+def main() -> str:
+    return run_figure1().describe()
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,89 @@
+"""Figure 2: measured speedup of the Amber Red/Black SOR program.
+
+Reruns the paper's experiment: the 122x842 grid, partitioned into eight
+section objects (six for the three- and six-node runs), across the
+configurations 1Nx1P ... 8Nx4P, plus the no-overlap variant of 8Nx4P that
+demonstrates the value of overlapping communication with computation.
+
+Run: ``python -m repro.bench.figure2`` (add ``--fast`` for fewer
+iterations).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.sor import SorProblem, run_amber_sor
+from repro.bench.paper_data import PAPER_FIGURE2_SPEEDUPS
+from repro.bench.reporting import render_table
+from repro.core.costs import CostModel
+
+#: The configurations plotted in Figure 2, as (nodes, cpus_per_node).
+FIGURE2_CONFIGS = [
+    (1, 1), (1, 2), (1, 4),
+    (2, 2), (4, 1),
+    (2, 4), (4, 2),
+    (3, 4), (4, 4), (6, 4), (8, 4),
+]
+
+#: Iteration count for the measured runs.  Speedup is iteration-dominated
+#: and stable beyond a few dozen sweeps (startup costs amortize away).
+DEFAULT_ITERATIONS = 30
+
+
+@dataclass
+class Figure2Row:
+    label: str
+    nodes: int
+    cpus_per_node: int
+    total_cpus: int
+    sections: int
+    overlap: bool
+    speedup: float
+    paper_speedup: Optional[float]
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.total_cpus
+
+
+def run_figure2(iterations: int = DEFAULT_ITERATIONS,
+                costs: Optional[CostModel] = None) -> List[Figure2Row]:
+    problem = SorProblem(iterations=iterations)
+    rows: List[Figure2Row] = []
+    for nodes, cpus in FIGURE2_CONFIGS:
+        result = run_amber_sor(problem, nodes=nodes, cpus_per_node=cpus,
+                               costs=costs)
+        rows.append(Figure2Row(
+            label=result.label, nodes=nodes, cpus_per_node=cpus,
+            total_cpus=nodes * cpus, sections=result.sections,
+            overlap=True, speedup=result.speedup,
+            paper_speedup=PAPER_FIGURE2_SPEEDUPS.get(result.label)))
+    no_overlap = run_amber_sor(problem, nodes=8, cpus_per_node=4,
+                               overlap=False, costs=costs)
+    rows.append(Figure2Row(
+        label="8Nx4P (no overlap)", nodes=8, cpus_per_node=4,
+        total_cpus=32, sections=no_overlap.sections, overlap=False,
+        speedup=no_overlap.speedup,
+        paper_speedup=PAPER_FIGURE2_SPEEDUPS.get("8Nx4P (no overlap)")))
+    return rows
+
+
+def main(iterations: int = DEFAULT_ITERATIONS) -> str:
+    rows = run_figure2(iterations)
+    return render_table(
+        ["Config", "CPUs", "Sections", "Speedup", "Paper", "Efficiency"],
+        [(r.label, r.total_cpus, r.sections, r.speedup,
+          r.paper_speedup if r.paper_speedup is not None else "-",
+          r.efficiency)
+         for r in rows],
+        title=("Figure 2: Measured speedup, Amber Red/Black SOR "
+               "(122x842 grid)"),
+    )
+
+
+if __name__ == "__main__":
+    fast = "--fast" in sys.argv
+    print(main(iterations=8 if fast else DEFAULT_ITERATIONS))

@@ -1,0 +1,75 @@
+"""Figure 3: effect of varying the SOR problem size (4Nx4P).
+
+Sweeps the grid size from ~11k to ~411k points on the fixed 4Nx4P
+configuration.  The paper's claim: "for sufficiently small grids
+[communication] will dominate computation and limit speedup.  For
+sufficiently large grids computation will dominate and speedup will be
+good" — the curve rises steeply and flattens toward the 16-CPU ideal.
+The 122x842 grid of Figure 2 is marked "X".
+
+Run: ``python -m repro.bench.figure3``
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps.sor import SorProblem, run_amber_sor
+from repro.bench.reporting import render_series
+from repro.core.costs import CostModel
+
+#: Grid sizes swept (rows, cols), scaled around the paper's 122x842.
+FIGURE3_GRIDS: List[Tuple[int, int]] = [
+    (40, 280),
+    (61, 421),
+    (80, 560),
+    (122, 842),     # the "X" point of Figure 3
+    (172, 1192),
+    (244, 1684),
+]
+
+PAPER_GRID = (122, 842)
+DEFAULT_ITERATIONS = 20
+NODES = 4
+CPUS_PER_NODE = 4
+
+
+@dataclass
+class Figure3Point:
+    rows: int
+    cols: int
+    points: int
+    speedup: float
+    is_paper_grid: bool
+
+
+def run_figure3(iterations: int = DEFAULT_ITERATIONS,
+                costs: Optional[CostModel] = None,
+                grids: Optional[List[Tuple[int, int]]] = None
+                ) -> List[Figure3Point]:
+    out: List[Figure3Point] = []
+    for rows, cols in grids or FIGURE3_GRIDS:
+        problem = SorProblem(rows=rows, cols=cols, iterations=iterations)
+        result = run_amber_sor(problem, nodes=NODES,
+                               cpus_per_node=CPUS_PER_NODE, costs=costs)
+        out.append(Figure3Point(rows, cols, problem.points, result.speedup,
+                                (rows, cols) == PAPER_GRID))
+    return out
+
+
+def main(iterations: int = DEFAULT_ITERATIONS) -> str:
+    points = run_figure3(iterations)
+    series = [(f"{p.points:,}{' (X)' if p.is_paper_grid else ''}", p.speedup)
+              for p in points]
+    return render_series(
+        series, x_label="grid points", y_label="speedup",
+        title=(f"Figure 3: SOR speedup vs problem size "
+               f"({NODES}Nx{CPUS_PER_NODE}P, ideal = "
+               f"{NODES * CPUS_PER_NODE})"))
+
+
+if __name__ == "__main__":
+    fast = "--fast" in sys.argv
+    print(main(iterations=6 if fast else DEFAULT_ITERATIONS))

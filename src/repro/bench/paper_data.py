@@ -1,0 +1,60 @@
+"""The numbers the paper reports, as data.
+
+Table 1 is printed verbatim in the paper.  Figures 2 and 3 are plots; the
+text states the headline values ("a speedup of 25 for the 8Nx4P case",
+"nearly identical speedups ... (1Nx4P, 2Nx2P, 4Nx1P)"), and the remaining
+entries here are read off the published figure — treat them as approximate
+(tagged with the tolerance used by the shape checks).
+"""
+
+from __future__ import annotations
+
+#: Table 1: Latency of Amber Operations (milliseconds).
+PAPER_TABLE1_MS = {
+    "object create": 0.18,
+    "local invoke/return": 0.012,
+    "remote invoke/return": 8.32,
+    "object move": 12.43,
+    "thread start/join": 1.33,
+}
+
+#: Figure 2: measured speedup by configuration (label -> speedup).
+#: "25" for 8Nx4P is stated in the text; others are figure read-offs.
+PAPER_FIGURE2_SPEEDUPS = {
+    "1Nx1P": 1.0,
+    "1Nx2P": 2.0,
+    "1Nx4P": 3.9,
+    "2Nx2P": 3.9,
+    "4Nx1P": 3.9,
+    "2Nx4P": 7.6,
+    "4Nx2P": 7.6,
+    "3Nx4P": 11.0,
+    "4Nx4P": 14.5,
+    "6Nx4P": 20.0,
+    "8Nx4P": 25.0,
+    "8Nx4P (no overlap)": 21.0,
+}
+
+#: Relative tolerance for comparing our speedups against figure read-offs.
+FIGURE2_SHAPE_RTOL = 0.25
+
+#: Figure 3: speedup vs problem size at 4Nx4P.  The "X" point is the
+#: 122x842 grid of Figure 2; the curve "rises steeply then flattens".
+PAPER_FIGURE3_POINTS = {
+    11_200: 8.0,
+    25_681: 11.0,
+    44_800: 12.5,
+    102_724: 14.5,    # the "X" grid
+    205_024: 15.0,
+    410_896: 15.5,
+}
+
+#: The paper's qualitative claims checked by the shape tests.
+CLAIMS = [
+    "speedup ~25 at 8Nx4P with overlapped communication",
+    "overlap beats no-overlap at 8Nx4P",
+    "all 4-CPU configurations achieve nearly identical speedup",
+    "both 8-CPU configurations achieve similar speedup",
+    "speedup at fixed machine rises with problem size and flattens",
+    "remote invocations are 3-4 orders of magnitude dearer than local",
+]

@@ -1,0 +1,52 @@
+"""Plain-text rendering of benchmark results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    body = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(points: Sequence[tuple], x_label: str, y_label: str,
+                  title: Optional[str] = None, width: int = 48) -> str:
+    """Render an (x, y) series as a labeled horizontal bar chart — the
+    closest plain text gets to regenerating a figure."""
+    ys = [y for _, y in points]
+    top = max(ys) if ys else 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>14} | {y_label}")
+    for x, y in points:
+        bar = "#" * max(1, round(width * y / top)) if top > 0 else ""
+        lines.append(f"{_fmt(x):>14} | {bar} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

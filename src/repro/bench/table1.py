@@ -1,0 +1,103 @@
+"""Table 1: latency of Amber operations (paper section 5).
+
+Runs the five microbenchmarks on a simulated 2-node cluster of 4-CPU
+machines under the paper's stated conditions — light load, objects and
+threads fit in one network packet, destination known via a one-hop
+forwarding chain — and compares against the published numbers.
+
+Run: ``python -m repro.bench.table1``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.paper_data import PAPER_TABLE1_MS
+from repro.bench.reporting import render_table
+from repro.core.costs import CostModel
+from repro.sim.cluster import ClusterConfig
+from repro.sim.objects import SimObject
+from repro.sim.program import AmberProgram
+from repro.sim.syscalls import Invoke, Join, MoveTo, New, NewThread, Start
+
+#: Table 1 benchmark object: fits in one network packet.
+PACKET_BYTES = 1000
+
+
+class _BenchTarget(SimObject):
+    def noop(self, ctx):
+        """Empty generator operation: pure invocation cost."""
+        if False:
+            yield None
+
+    def body(self, ctx):
+        if False:
+            yield None
+
+
+@dataclass
+class Table1Row:
+    operation: str
+    measured_ms: float
+    paper_ms: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured_ms / self.paper_ms if self.paper_ms else 0.0
+
+
+def _microbench(ctx):
+    """The five measurements, mirroring the paper's benchmark conditions."""
+    out = {}
+
+    t0 = ctx.now_us
+    target = yield New(_BenchTarget, size_bytes=PACKET_BYTES)
+    out["object create"] = ctx.now_us - t0
+
+    t0 = ctx.now_us
+    yield Invoke(target, "noop")
+    out["local invoke/return"] = ctx.now_us - t0
+
+    # Move the object away: the local descriptor now holds a one-hop
+    # forwarding address, exactly the stated benchmark condition.
+    yield MoveTo(target, 1)
+    t0 = ctx.now_us
+    yield Invoke(target, "noop")
+    out["remote invoke/return"] = ctx.now_us - t0
+
+    mover = yield New(_BenchTarget, size_bytes=PACKET_BYTES)
+    t0 = ctx.now_us
+    yield MoveTo(mover, 1)
+    out["object move"] = ctx.now_us - t0
+
+    local = yield New(_BenchTarget, size_bytes=PACKET_BYTES)
+    thread = yield NewThread(local, "body")
+    t0 = ctx.now_us
+    yield Start(thread)
+    yield Join(thread)
+    out["thread start/join"] = ctx.now_us - t0
+    return out
+
+
+def run_table1(costs: Optional[CostModel] = None) -> List[Table1Row]:
+    config = ClusterConfig(nodes=2, cpus_per_node=4)
+    result = AmberProgram(config, costs or CostModel.firefly()).run(
+        _microbench)
+    measured: Dict[str, float] = result.value
+    return [Table1Row(name, measured[name] / 1000.0, PAPER_TABLE1_MS[name])
+            for name in PAPER_TABLE1_MS]
+
+
+def main() -> str:
+    rows = run_table1()
+    table = render_table(
+        ["Operation", "Measured (ms)", "Paper (ms)", "Measured/Paper"],
+        [(r.operation, r.measured_ms, r.paper_ms, r.ratio) for r in rows],
+        title="Table 1: Latency of Amber Operations",
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,54 @@
+"""Command-line interface: regenerate any paper artifact.
+
+::
+
+    python -m repro table1              # Table 1 latencies
+    python -m repro figure1             # SOR program structure
+    python -m repro figure2 [--fast]    # SOR speedup by configuration
+    python -m repro figure3 [--fast]    # speedup vs problem size
+    python -m repro ablations           # A1-A6 design-claim measurements
+    python -m repro all [--fast]        # everything above, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import ablations, figure1, figure2, figure3, table1
+
+_ARTIFACTS = {
+    "table1": lambda fast: table1.main(),
+    "figure1": lambda fast: figure1.main(),
+    "figure2": lambda fast: figure2.main(
+        iterations=8 if fast else figure2.DEFAULT_ITERATIONS),
+    "figure3": lambda fast: figure3.main(
+        iterations=6 if fast else figure3.DEFAULT_ITERATIONS),
+    "ablations": lambda fast: ablations.main(),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the evaluation artifacts of the Amber "
+                    "paper (SOSP 1989) on the simulated cluster.")
+    parser.add_argument("artifact",
+                        choices=sorted(_ARTIFACTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer SOR iterations (quick look)")
+    args = parser.parse_args(argv)
+
+    names = sorted(_ARTIFACTS) if args.artifact == "all" \
+        else [args.artifact]
+    outputs = []
+    for name in names:
+        outputs.append(_ARTIFACTS[name](args.fast))
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

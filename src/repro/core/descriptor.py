@@ -1,0 +1,104 @@
+"""Object descriptors (paper section 3.2).
+
+Every Amber object is referenced by a virtual address that is valid on every
+node, and every node holds a *descriptor* for the object saying whether it is
+locally resident.  An object is laid out as ``descriptor || representation``,
+so the object's address *is* its descriptor's address.
+
+The paper's key trick: descriptors on nodes the object has never visited are
+*uninitialized* (the backing page is zero-filled), and an uninitialized
+descriptor is interpreted as "not resident, location unknown — ask the home
+node".  We model that by simply having no table entry: a miss in the
+:class:`DescriptorTable` is the zero-filled page.
+
+Descriptor states:
+
+``RESIDENT``
+    The object lives here and may be invoked directly.  Immutable objects may
+    be resident (replicated) on many nodes at once.
+``FORWARDED``
+    The object moved away; ``forward_to`` is the last known location — the
+    head of a forwarding chain (section 3.3).
+missing entry
+    Uninitialized: route to the home node derived from the address.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import DescriptorError
+
+
+class DescriptorState(enum.Enum):
+    RESIDENT = "resident"
+    FORWARDED = "forwarded"
+
+
+@dataclass
+class Descriptor:
+    """One node's view of one object."""
+
+    state: DescriptorState
+    #: Last known location when FORWARDED; meaningless when RESIDENT.
+    forward_to: Optional[int] = None
+
+    @property
+    def resident(self) -> bool:
+        return self.state is DescriptorState.RESIDENT
+
+
+class DescriptorTable:
+    """All descriptors held by a single node, keyed by virtual address."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._table: Dict[int, Descriptor] = {}
+
+    def lookup(self, address: int) -> Optional[Descriptor]:
+        """The descriptor for ``address``, or ``None`` if uninitialized."""
+        return self._table.get(address)
+
+    def is_resident(self, address: int) -> bool:
+        descriptor = self._table.get(address)
+        return descriptor is not None and descriptor.resident
+
+    def set_resident(self, address: int) -> None:
+        """Install or overwrite a RESIDENT descriptor (object arrived/created
+        here, or an immutable replica was installed)."""
+        self._table[address] = Descriptor(DescriptorState.RESIDENT)
+
+    def set_forwarding(self, address: int, forward_to: int) -> None:
+        """Record that the object moved away, leaving a forwarding address."""
+        if forward_to == self.node:
+            raise DescriptorError(
+                f"node {self.node}: forwarding address for {address:#x} "
+                "may not point at this node itself")
+        self._table[address] = Descriptor(DescriptorState.FORWARDED,
+                                          forward_to)
+
+    def update_hint(self, address: int, forward_to: int) -> None:
+        """Refresh a stale forwarding hint (path caching, section 3.3).
+
+        A RESIDENT descriptor is never downgraded by a hint: hints are only
+        advisory location caches.
+        """
+        descriptor = self._table.get(address)
+        if descriptor is not None and descriptor.resident:
+            return
+        if forward_to == self.node:
+            return
+        self._table[address] = Descriptor(DescriptorState.FORWARDED,
+                                          forward_to)
+
+    def clear(self, address: int) -> None:
+        """Drop the descriptor (object deleted; page returns to zero-fill)."""
+        self._table.pop(address, None)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._table

@@ -1,0 +1,49 @@
+"""An Ivy-style page-based distributed shared virtual memory (section 4).
+
+The paper argues for object-granularity coherence (function shipping) over
+page-granularity coherence (data shipping, i.e. Li's Ivy) but never
+measures Ivy.  This package makes the comparison measurable: a page-based
+DSM with Li & Hudak's fixed-distributed-manager write-invalidate protocol,
+running on the same simulated cluster (same CPUs, same shared Ethernet,
+same cost model) as the Amber backend.
+
+Processes are pinned to nodes (Ivy distributes work by explicit process
+placement) and express their work as generators yielding
+:mod:`repro.dsm.ops` requests: ``Compute``, ``Read``/``Write`` over byte
+ranges of the shared address space (faulting and transferring whole pages),
+``TestAndSet``/``Store``/``Load`` for flag- and lock-in-memory algorithms
+(the page-thrashing pattern of section 4.1), and ``RpcLock``/``RpcBarrier``
+for the "recent versions of Ivy ... accessing shared lock variables with
+remote procedure calls" escape hatch the paper mentions.
+"""
+
+from repro.dsm.machine import IvyCluster, IvyProcess, IvyStats, run_ivy
+from repro.dsm.ops import (
+    Compute,
+    Load,
+    Read,
+    RpcBarrier,
+    RpcLockAcquire,
+    RpcLockRelease,
+    Store,
+    TestAndSet,
+    Write,
+)
+from repro.dsm.pages import PageAccess
+
+__all__ = [
+    "Compute",
+    "IvyCluster",
+    "IvyProcess",
+    "IvyStats",
+    "Load",
+    "PageAccess",
+    "Read",
+    "RpcBarrier",
+    "RpcLockAcquire",
+    "RpcLockRelease",
+    "Store",
+    "TestAndSet",
+    "Write",
+    "run_ivy",
+]

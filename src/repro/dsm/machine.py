@@ -1,0 +1,812 @@
+"""The DSM machine: processes, page-fault protocol, RPC sync services.
+
+This is a deliberately smaller kernel than the Amber one: processes are
+pinned to their nodes (data ships to computation, never the reverse), so
+there is no migration machinery — the entire inter-node traffic is page
+transfers, invalidations, and the optional RPC lock/barrier services.
+
+Three of Li & Hudak's ownership-management algorithms are implemented
+(``manager_mode``): a single *centralized* manager, the default *fixed*
+distributed managers (pages striped across nodes), and the *dynamic*
+distributed manager, where requests chase per-node probOwner hints to the
+owner itself — structurally the same locating algorithm as Amber's
+forwarding addresses, path compression included.
+
+Protocol (write-invalidate; shown for a separate manager):
+
+* read fault: requester -> manager -> owner; the owner downgrades to READ
+  and ships the page; the requester confirms to the manager, which adds it
+  to the copyset.
+* write fault: requester -> manager; the manager invalidates every copy
+  except the requester's, has the owner ship the page (skipped if the
+  requester already holds a READ copy), and transfers ownership.
+* The manager serializes transactions per page; concurrent faults queue.
+
+All delays come from the shared :class:`~repro.core.costs.CostModel` and
+the same contended Ethernet the Amber backend uses, so head-to-head
+comparisons are apples to apples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.costs import CostModel
+from repro.dsm import ops
+from repro.dsm.pages import (
+    ManagerTable,
+    OwnershipRecord,
+    PageAccess,
+    PageTable,
+    pages_of_range,
+)
+from repro.errors import DeadlockError, InvocationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Ethernet
+
+#: CPU cost of a satisfied (non-faulting) access check and of the Python
+#: value effects of Load/Store/TestAndSet.
+LOCAL_ACCESS_US = 1.0
+
+
+@dataclass
+class IvyStats:
+    read_faults: int = 0
+    write_faults: int = 0
+    page_transfers: int = 0
+    invalidations: int = 0
+    lock_rpcs: int = 0
+    barrier_rounds: int = 0
+    #: Dynamic-manager mode: requests forwarded along probOwner chains.
+    owner_forwards: int = 0
+    #: page -> number of times it was transferred (ping-pong detector).
+    transfers_by_page: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_faults(self) -> int:
+        return self.read_faults + self.write_faults
+
+    def hottest_page(self) -> Tuple[Optional[int], int]:
+        if not self.transfers_by_page:
+            return None, 0
+        page = max(self.transfers_by_page,
+                   key=lambda p: self.transfers_by_page[p])
+        return page, self.transfers_by_page[page]
+
+
+class IvyProcess:
+    """One pinned process: a generator plus scheduling state."""
+
+    _states = ("new", "ready", "running", "blocked", "done")
+
+    def __init__(self, pid: int, node: int, name: str = ""):
+        self.pid = pid
+        self.node = node
+        self.name = name or f"proc-{pid}"
+        self.state = "new"
+        self.gen = None
+        self.cpu: Optional[int] = None
+        self.send_value: Any = None
+        self.send_exc: Optional[BaseException] = None
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<IvyProcess {self.name} @node {self.node} {self.state}>"
+
+
+class _IvyNode:
+    def __init__(self, node_id: int, ncpus: int):
+        self.id = node_id
+        self.ncpus = ncpus
+        self.cpu_busy: List[Optional[IvyProcess]] = [None] * ncpus
+        self.run_queue: Deque[IvyProcess] = deque()
+        self.pages = PageTable(node_id)
+        self.manager = ManagerTable(node_id)
+        #: Dynamic-manager state: believed owner per page (probOwner).
+        self.prob_owner: Dict[int, int] = {}
+        #: Dynamic-manager state: records for the pages this node OWNS.
+        self.owned: Dict[int, OwnershipRecord] = {}
+        self.cpu_busy_us = 0.0
+
+
+class IvyCluster:
+    """A cluster of multiprocessor nodes sharing one paged address space."""
+
+    #: Supported ownership-management algorithms (Li & Hudak):
+    #: "fixed"       — fixed distributed manager, pages striped by number;
+    #: "centralized" — one manager (node 0) for every page;
+    #: "dynamic"     — no managers: requests chase probOwner hints to the
+    #:                 owner itself, the DSM twin of Amber's forwarding
+    #:                 addresses.
+    MANAGER_MODES = ("fixed", "centralized", "dynamic")
+
+    def __init__(self, nodes: int, cpus_per_node: int,
+                 costs: Optional[CostModel] = None,
+                 contended_network: bool = True,
+                 manager_mode: str = "fixed"):
+        if nodes < 1 or cpus_per_node < 1:
+            raise SimulationError("cluster needs >=1 node and >=1 CPU")
+        if manager_mode not in self.MANAGER_MODES:
+            raise SimulationError(
+                f"unknown manager_mode {manager_mode!r}; "
+                f"choose from {self.MANAGER_MODES}")
+        self.manager_mode = manager_mode
+        self.costs = costs or CostModel.firefly()
+        self.sim = Simulator()
+        self.network = Ethernet(self.sim, self.costs,
+                                contended=contended_network)
+        self.nodes = [_IvyNode(i, cpus_per_node) for i in range(nodes)]
+        self.memory: Dict[int, Any] = {}   # python values at addresses
+        self.stats = IvyStats()
+        self.processes: List[IvyProcess] = []
+        self._locks: Dict[int, Dict[str, Any]] = {}
+        self._barriers: Dict[int, Dict[str, Any]] = {}
+        self._next_pid = 0
+
+    # -- topology helpers ------------------------------------------------
+
+    def manager_of(self, page: int) -> int:
+        """The page's manager: striped ("fixed") or node 0
+        ("centralized").  Unused in "dynamic" mode."""
+        if self.manager_mode == "centralized":
+            return 0
+        return page % len(self.nodes)
+
+    def node(self, node_id: int) -> _IvyNode:
+        return self.nodes[node_id]
+
+    # -- process management ------------------------------------------------
+
+    def spawn(self, node: int, fn: Callable, *args, name: str = ""
+              ) -> IvyProcess:
+        """Create a process on ``node`` running ``fn(cluster, *args)``
+        (a generator function yielding :mod:`repro.dsm.ops` requests)."""
+        proc = IvyProcess(self._next_pid, node, name)
+        self._next_pid += 1
+        proc.gen = fn(self, *args)
+        if not hasattr(proc.gen, "send"):
+            raise InvocationError(f"{fn!r} is not a generator function")
+        self.processes.append(proc)
+        self._ready(proc)
+        return proc
+
+    def run(self) -> None:
+        """Drain the simulation; raises if any process failed or stalled."""
+        self.sim.run()
+        for proc in self.processes:
+            if proc.exception is not None:
+                raise proc.exception
+        stalled = [p for p in self.processes if p.state != "done"]
+        if stalled:
+            raise DeadlockError(
+                "DSM simulation stalled with live processes: "
+                + ", ".join(f"{p.name}({p.state})" for p in stalled))
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.sim.now_us
+
+    # -- scheduling --------------------------------------------------------
+
+    def _ready(self, proc: IvyProcess) -> None:
+        proc.state = "ready"
+        node = self.nodes[proc.node]
+        node.run_queue.append(proc)
+        self._try_dispatch(node)
+
+    def _try_dispatch(self, node: _IvyNode) -> None:
+        """Hand idle CPUs to queued processes.  The queue holds both fresh
+        generator resumptions and mid-fault continuations."""
+        while node.run_queue:
+            try:
+                cpu = node.cpu_busy.index(None)
+            except ValueError:
+                return
+            entry = node.run_queue.popleft()
+            if isinstance(entry, _Continuation):
+                proc = entry.proc
+                proc.state = "running"
+                proc.cpu = cpu
+                node.cpu_busy[cpu] = proc
+                self.sim.call_now(entry.fn)
+            else:
+                entry.state = "running"
+                entry.cpu = cpu
+                node.cpu_busy[cpu] = entry
+                self.sim.call_now(lambda p=entry: self._advance(p))
+
+    def _release_cpu(self, proc: IvyProcess) -> None:
+        node = self.nodes[proc.node]
+        node.cpu_busy[proc.cpu] = None
+        proc.cpu = None
+        self._try_dispatch(node)
+
+    def _block(self, proc: IvyProcess) -> None:
+        proc.state = "blocked"
+        self._release_cpu(proc)
+
+    def _charge(self, proc: IvyProcess, us: float, then) -> None:
+        node = self.nodes[proc.node]
+
+        def fire() -> None:
+            node.cpu_busy_us += us
+            then()
+
+        self.sim.schedule_us(us, fire)
+
+    # -- generator driving ---------------------------------------------------
+
+    def _advance(self, proc: IvyProcess) -> None:
+        exc, value = proc.send_exc, proc.send_value
+        proc.send_exc = None
+        proc.send_value = None
+        try:
+            if exc is not None:
+                request = proc.gen.throw(exc)
+            else:
+                request = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.state = "done"
+            proc.result = stop.value
+            self._release_cpu(proc)
+            return
+        except Exception as error:
+            proc.state = "done"
+            proc.exception = error
+            self._release_cpu(proc)
+            return
+        self._handle(proc, request)
+
+    def _resume(self, proc: IvyProcess, value: Any = None) -> None:
+        """Unblock a process after a fault or RPC completes."""
+        proc.send_value = value
+        self._ready(proc)
+
+    def _continue(self, proc: IvyProcess, value: Any = None) -> None:
+        """Keep running on the same CPU."""
+        proc.send_value = value
+        self._advance(proc)
+
+    # -- request handlers --------------------------------------------------
+
+    def _handle(self, proc: IvyProcess, request: Any) -> None:
+        if isinstance(request, ops.Compute):
+            self._charge(proc, max(0.0, request.us),
+                         lambda: self._continue(proc))
+        elif isinstance(request, ops.Read):
+            pages = list(pages_of_range(request.addr, request.nbytes,
+                                        self.costs.page_bytes))
+            self._ensure(proc, pages, PageAccess.READ,
+                         lambda: self._continue(proc))
+        elif isinstance(request, ops.Write):
+            pages = list(pages_of_range(request.addr, request.nbytes,
+                                        self.costs.page_bytes))
+            self._ensure(proc, pages, PageAccess.WRITE,
+                         lambda: self._continue(proc))
+        elif isinstance(request, ops.Load):
+            pages = [request.addr // self.costs.page_bytes]
+            self._ensure(proc, pages, PageAccess.READ,
+                         lambda: self._continue(
+                             proc, self.memory.get(request.addr)))
+        elif isinstance(request, ops.Store):
+            pages = [request.addr // self.costs.page_bytes]
+
+            def store() -> None:
+                self.memory[request.addr] = request.value
+                self._continue(proc)
+
+            self._ensure(proc, pages, PageAccess.WRITE, store)
+        elif isinstance(request, ops.TestAndSet):
+            pages = [request.addr // self.costs.page_bytes]
+
+            def tas() -> None:
+                previous = bool(self.memory.get(request.addr))
+                self.memory[request.addr] = True
+                self._continue(proc, previous)
+
+            self._ensure(proc, pages, PageAccess.WRITE, tas)
+        elif isinstance(request, ops.RpcLockAcquire):
+            self._rpc_lock_acquire(proc, request)
+        elif isinstance(request, ops.RpcLockRelease):
+            self._rpc_lock_release(proc, request)
+        elif isinstance(request, ops.RpcBarrier):
+            self._rpc_barrier(proc, request)
+        else:
+            proc.send_exc = InvocationError(
+                f"process yielded a non-request value: {request!r}")
+            self.sim.call_now(lambda: self._advance(proc))
+
+    # -- page access / fault protocol -------------------------------------
+
+    def _ensure(self, proc: IvyProcess, pages: List[int],
+                want: PageAccess, then) -> None:
+        """Acquire ``want`` access to every page in order, then continue."""
+        table = self.nodes[proc.node].pages
+
+        def step(index: int) -> None:
+            while index < len(pages):
+                access = table.access(pages[index])
+                satisfied = (access is PageAccess.WRITE
+                             or (want is PageAccess.READ
+                                 and access is PageAccess.READ))
+                if satisfied:
+                    index += 1
+                    continue
+                self._fault(proc, pages[index], want,
+                            lambda i=index: step(i + 1))
+                return
+            self._charge(proc, LOCAL_ACCESS_US, then)
+
+        step(0)
+
+    def _fault(self, proc: IvyProcess, page: int, want: PageAccess,
+               resume_step) -> None:
+        """Handle one page fault: trap, talk to the manager, block until
+        the page (and for writes, ownership) arrives."""
+        costs = self.costs
+        if want is PageAccess.WRITE:
+            self.stats.write_faults += 1
+        else:
+            self.stats.read_faults += 1
+
+        def trapped() -> None:
+            self._block(proc)
+            if self.manager_mode == "dynamic":
+                self._chase_owner(proc.node, page,
+                                  (proc, want, resume_again), trace=())
+            else:
+                self._to_manager(page, (proc, want, resume_again))
+
+        def resume_again() -> None:
+            # Re-runs the _ensure step on the faulting process's node;
+            # the process regains a CPU first.
+            proc.send_value = None
+            proc.state = "ready"
+            node = self.nodes[proc.node]
+            node.run_queue.append(_Continuation(proc, resume_step))
+            self._try_dispatch(node)
+
+        self._charge(proc, costs.page_fault_us, trapped)
+
+    # -- dynamic distributed manager (Li & Hudak's probOwner scheme) ----
+
+    MAX_CHASE = 64
+
+    def _owner_record(self, node_id: int, page: int
+                      ) -> Optional[OwnershipRecord]:
+        """The ownership record if ``node_id`` owns ``page``.  All pages
+        start owned by node 0 (zero-filled), created lazily."""
+        node = self.nodes[node_id]
+        if page in node.owned:
+            return node.owned[page]
+        if node_id == 0 and not any(page in other.owned
+                                    for other in self.nodes):
+            record = OwnershipRecord(owner=0, copyset={0})
+            node.owned[page] = record
+            return record
+        return None
+
+    def _prob_owner(self, node_id: int, page: int) -> int:
+        return self.nodes[node_id].prob_owner.get(page, 0)
+
+    def _chase_owner(self, at_node: int, page: int, request,
+                     trace: Tuple[int, ...]) -> None:
+        """Deliver a fault request to the page's owner by following
+        probOwner hints — the DSM twin of Amber's forwarding-address
+        chase (section 3.3)."""
+        if len(trace) > self.MAX_CHASE:
+            proc, _, _ = request
+            proc.send_exc = SimulationError(
+                f"page {page}: probOwner chase exceeded {self.MAX_CHASE}")
+            self._ready(proc)
+            return
+        record = self._owner_record(at_node, page)
+        if record is not None:
+            # Found the owner: serialize, then run the transaction here.
+            self._send_prob_hints(trace, page, at_node)
+            if record.busy:
+                record.queue.append(request)
+                return
+            record.busy = True
+            self._owner_transaction(at_node, page, record, request)
+            return
+        target = self._prob_owner(at_node, page)
+        if target == at_node:
+            # Stale self-hint: fall back to the initial owner.
+            target = 0
+        self.stats.owner_forwards += 1
+
+        def delivered() -> None:
+            self.sim.schedule_us(
+                self.costs.manager_us,
+                lambda: self._chase_owner(target, page, request,
+                                          trace + (at_node,)))
+
+        self.network.send(at_node, target, self.costs.control_bytes,
+                          delivered)
+
+    def _send_prob_hints(self, trace: Tuple[int, ...], page: int,
+                         owner: int) -> None:
+        """Point every node along the chase path at the owner (path
+        compression; advisory, so no acknowledgements)."""
+        for visited in trace:
+            if visited != owner:
+                self.nodes[visited].prob_owner[page] = owner
+
+    def _owner_transaction(self, owner: int, page: int,
+                           record: OwnershipRecord, request) -> None:
+        """The owner services the fault itself (no separate manager)."""
+        proc, want, resume = request
+        costs = self.costs
+        requester = proc.node
+
+        def finish() -> None:
+            record.busy = False
+            resume()
+            self._drain_record(record, page)
+
+        if want is PageAccess.READ:
+            if requester == owner:
+                self.nodes[owner].pages.set_access(page, PageAccess.READ)
+                record.copyset.add(owner)
+                self.sim.schedule_us(costs.manager_us, finish)
+                return
+
+            def ship() -> None:
+                self.nodes[owner].pages.set_access(page, PageAccess.READ)
+                self._count_transfer(page)
+                self.network.send(owner, requester, costs.page_bytes,
+                                  install)
+
+            def install() -> None:
+                def installed() -> None:
+                    self.nodes[requester].pages.set_access(
+                        page, PageAccess.READ)
+                    record.copyset.add(requester)
+                    self.nodes[requester].prob_owner[page] = owner
+                    # Confirm to the owner (it is the manager here).
+                    self.network.send(requester, owner,
+                                      costs.control_bytes, finish)
+                self.sim.schedule_us(costs.page_install_us, installed)
+
+            self.sim.schedule_us(costs.page_pack_us, ship)
+            return
+
+        # Write fault: invalidate every copy, ship the page if needed,
+        # and hand the record itself to the requester.
+        has_copy = (self.nodes[requester].pages.access(page)
+                    is not PageAccess.NONE) or requester == owner
+        to_invalidate = {n for n in record.copyset | {owner}
+                         if n != requester}
+        pending = {"acks": len(to_invalidate), "page": not has_copy}
+
+        def maybe_done() -> None:
+            if pending["acks"] == 0 and not pending["page"]:
+                self.nodes[requester].pages.set_access(page,
+                                                       PageAccess.WRITE)
+                # Ownership (and the record) moves to the requester.
+                del self.nodes[owner].owned[page]
+                record.owner = requester
+                record.copyset = {requester}
+                self.nodes[requester].owned[page] = record
+                self.nodes[owner].prob_owner[page] = requester
+                finish()
+
+        for target in sorted(to_invalidate):
+            def invalidate(t=target) -> None:
+                def zap() -> None:
+                    self.nodes[t].pages.set_access(page, PageAccess.NONE)
+                    self.stats.invalidations += 1
+                    self.nodes[t].prob_owner[page] = requester
+
+                    def acked() -> None:
+                        pending["acks"] -= 1
+                        maybe_done()
+                    if t == owner:
+                        acked()
+                    else:
+                        self.network.send(t, owner, costs.control_bytes,
+                                          acked)
+                self.sim.schedule_us(costs.invalidate_us, zap)
+
+            if target == owner:
+                invalidate()
+            else:
+                self.network.send(owner, target, costs.control_bytes,
+                                  lambda t=target: invalidate(t))
+
+        if pending["page"]:
+            def ship() -> None:
+                self._count_transfer(page)
+                self.network.send(owner, requester, costs.page_bytes,
+                                  install)
+
+            def install() -> None:
+                def installed() -> None:
+                    pending["page"] = False
+                    maybe_done()
+                self.sim.schedule_us(costs.page_install_us, installed)
+
+            self.sim.schedule_us(costs.page_pack_us, ship)
+        else:
+            maybe_done()
+
+    def _drain_record(self, record: OwnershipRecord, page: int) -> None:
+        """After a transaction, run the next queued request *wherever the
+        record now lives* — a write fault moves the record (queue and
+        all) to the new owner, exactly as Li forwards pending requests."""
+        if record.queue and not record.busy:
+            request = record.queue.popleft()
+            record.busy = True
+            self._owner_transaction(record.owner, page, record, request)
+
+    def _to_manager(self, page: int, request) -> None:
+        manager_node = self.manager_of(page)
+        requester = request[0].node
+
+        def arrived() -> None:
+            self._manager_enqueue(page, request)
+
+        if manager_node == requester:
+            self.sim.schedule_us(self.costs.manager_us, arrived)
+        else:
+            self.network.send(requester, manager_node,
+                              self.costs.control_bytes, arrived)
+
+    def _manager_enqueue(self, page: int, request) -> None:
+        record = self.nodes[self.manager_of(page)].manager.record(page)
+        if record.busy:
+            record.queue.append(request)
+            return
+        record.busy = True
+        self._transaction(page, record, request)
+
+    def _transaction(self, page: int, record: OwnershipRecord,
+                     request) -> None:
+        proc, want, resume = request
+        costs = self.costs
+        manager_node = self.manager_of(page)
+        requester = proc.node
+
+        def finish() -> None:
+            record.busy = False
+            resume()
+            if record.queue:
+                next_request = record.queue.popleft()
+                record.busy = True
+                self._transaction(page, record, next_request)
+
+        if want is PageAccess.READ:
+            owner = record.owner
+            if owner == requester:
+                # First touch of a page we nominally own (zero-filled):
+                # grant read access without any transfer.
+                self.nodes[requester].pages.set_access(page,
+                                                       PageAccess.READ)
+                record.copyset.add(requester)
+                self.sim.schedule_us(costs.manager_us, finish)
+                return
+
+            def at_owner() -> None:
+                self.nodes[owner].pages.set_access(page, PageAccess.READ)
+                self.sim.schedule_us(costs.page_pack_us, ship)
+
+            def ship() -> None:
+                self._count_transfer(page)
+                self.network.send(owner, requester, costs.page_bytes,
+                                  install)
+
+            def install() -> None:
+                def installed() -> None:
+                    self.nodes[requester].pages.set_access(
+                        page, PageAccess.READ)
+                    record.copyset.add(requester)
+                    # Confirmation back to the manager.
+                    if requester == manager_node:
+                        finish()
+                    else:
+                        self.network.send(requester, manager_node,
+                                          costs.control_bytes, finish)
+                self.sim.schedule_us(costs.page_install_us, installed)
+
+            self._forward(manager_node, owner, at_owner)
+        else:
+            self._write_transaction(page, record, proc, finish)
+
+    def _write_transaction(self, page: int, record: OwnershipRecord,
+                           proc: IvyProcess, finish) -> None:
+        costs = self.costs
+        manager_node = self.manager_of(page)
+        requester = proc.node
+        owner = record.owner
+        has_copy = (self.nodes[requester].pages.access(page)
+                    is not PageAccess.NONE) or owner == requester
+        to_invalidate = {n for n in record.copyset | {owner}
+                         if n != requester}
+        pending = {"acks": len(to_invalidate), "page": not has_copy}
+
+        def maybe_done() -> None:
+            if pending["acks"] == 0 and not pending["page"]:
+                self.nodes[requester].pages.set_access(
+                    page, PageAccess.WRITE)
+                record.owner = requester
+                record.copyset = {requester}
+                finish()
+
+        # Invalidations fan out in parallel.
+        for target in sorted(to_invalidate):
+            def invalidate(t=target) -> None:
+                def zap() -> None:
+                    self.nodes[t].pages.set_access(page, PageAccess.NONE)
+                    self.stats.invalidations += 1
+
+                    def acked() -> None:
+                        pending["acks"] -= 1
+                        maybe_done()
+                    if t == manager_node:
+                        acked()
+                    else:
+                        self.network.send(t, manager_node,
+                                          costs.control_bytes, acked)
+                self.sim.schedule_us(costs.invalidate_us, zap)
+
+            if target == manager_node:
+                invalidate()
+            else:
+                self.network.send(manager_node, target,
+                                  costs.control_bytes,
+                                  lambda t=target: invalidate(t))
+
+        # Page transfer from the old owner, if the requester lacks a copy.
+        if pending["page"]:
+            def at_owner() -> None:
+                self.sim.schedule_us(costs.page_pack_us, ship)
+
+            def ship() -> None:
+                self._count_transfer(page)
+                self.network.send(owner, requester, costs.page_bytes,
+                                  install)
+
+            def install() -> None:
+                def installed() -> None:
+                    pending["page"] = False
+                    maybe_done()
+                self.sim.schedule_us(costs.page_install_us, installed)
+
+            self._forward(manager_node, owner, at_owner)
+        else:
+            maybe_done()
+
+    def _forward(self, src: int, dst: int, then) -> None:
+        if src == dst:
+            self.sim.schedule_us(self.costs.manager_us, then)
+        else:
+            self.network.send(src, dst, self.costs.control_bytes, then)
+
+    def _count_transfer(self, page: int) -> None:
+        self.stats.page_transfers += 1
+        self.stats.transfers_by_page[page] = \
+            self.stats.transfers_by_page.get(page, 0) + 1
+
+    # -- RPC lock / barrier services ----------------------------------------
+
+    def _rpc_lock_acquire(self, proc: IvyProcess,
+                          request: ops.RpcLockAcquire) -> None:
+        costs = self.costs
+        lock = self._locks.setdefault(
+            request.lock_id, {"held": False, "queue": deque()})
+        self.stats.lock_rpcs += 1
+
+        def at_server() -> None:
+            if lock["held"]:
+                lock["queue"].append(proc)
+            else:
+                lock["held"] = True
+                grant()
+
+        def grant() -> None:
+            if request.server == proc.node:
+                self._resume(proc)
+            else:
+                self.network.send(request.server, proc.node,
+                                  costs.control_bytes,
+                                  lambda: self._resume(proc))
+
+        def request_sent() -> None:
+            self.sim.schedule_us(costs.manager_us, at_server)
+
+        self._block(proc)
+        if request.server == proc.node:
+            request_sent()
+        else:
+            self.network.send(proc.node, request.server,
+                              costs.control_bytes, request_sent)
+
+    def _rpc_lock_release(self, proc: IvyProcess,
+                          request: ops.RpcLockRelease) -> None:
+        costs = self.costs
+        lock = self._locks.setdefault(
+            request.lock_id, {"held": False, "queue": deque()})
+        self.stats.lock_rpcs += 1
+
+        def at_server() -> None:
+            if lock["queue"]:
+                waiter = lock["queue"].popleft()
+                if request.server == waiter.node:
+                    self._resume(waiter)
+                else:
+                    self.network.send(request.server, waiter.node,
+                                      costs.control_bytes,
+                                      lambda w=waiter: self._resume(w))
+            else:
+                lock["held"] = False
+
+        def sent() -> None:
+            self.sim.schedule_us(costs.manager_us, at_server)
+            # The releaser does not wait for an acknowledgement.
+            self._resume(proc)
+
+        self._block(proc)
+        if request.server == proc.node:
+            sent()
+        else:
+            self.network.send(proc.node, request.server,
+                              costs.control_bytes, sent)
+
+    def _rpc_barrier(self, proc: IvyProcess,
+                     request: ops.RpcBarrier) -> None:
+        costs = self.costs
+        barrier = self._barriers.setdefault(
+            request.barrier_id, {"count": 0, "waiting": []})
+
+        def at_server() -> None:
+            barrier["count"] += 1
+            barrier["waiting"].append(proc)
+            if barrier["count"] == request.parties:
+                self.stats.barrier_rounds += 1
+                waiting = barrier["waiting"]
+                barrier["count"] = 0
+                barrier["waiting"] = []
+                for waiter in waiting:
+                    if waiter.node == request.server:
+                        self._resume(waiter)
+                    else:
+                        self.network.send(
+                            request.server, waiter.node,
+                            costs.control_bytes,
+                            lambda w=waiter: self._resume(w))
+
+        self._block(proc)
+        if proc.node == request.server:
+            self.sim.schedule_us(costs.manager_us, at_server)
+        else:
+            self.network.send(proc.node, request.server,
+                              costs.control_bytes,
+                              lambda: self.sim.schedule_us(
+                                  costs.manager_us, at_server))
+
+
+class _Continuation:
+    """A blocked process resuming mid-_ensure: queued like a process but
+    resumes into a stored continuation instead of the generator."""
+
+    __slots__ = ("proc", "fn")
+
+    def __init__(self, proc: IvyProcess, fn):
+        self.proc = proc
+        self.fn = fn
+
+
+def run_ivy(workload: Callable[[IvyCluster], List[IvyProcess]],
+            nodes: int, cpus_per_node: int,
+            costs: Optional[CostModel] = None,
+            contended_network: bool = True) -> IvyCluster:
+    """Build a cluster, let ``workload`` spawn its processes, run to
+    completion, and return the cluster (time + stats inside)."""
+    cluster = IvyCluster(nodes, cpus_per_node, costs, contended_network)
+    workload(cluster)
+    cluster.run()
+    return cluster

@@ -1,0 +1,84 @@
+"""Requests Ivy processes yield to the DSM machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Consume CPU for ``us`` microseconds."""
+
+    us: float
+
+
+@dataclass(frozen=True)
+class Read:
+    """Ensure read access to ``[addr, addr + nbytes)``; every page in the
+    range not held in READ or WRITE state faults and is copied here."""
+
+    addr: int
+    nbytes: int = 1
+
+
+@dataclass(frozen=True)
+class Write:
+    """Ensure write access (ownership) of the range; pages not held in
+    WRITE state fault, invalidating every other copy."""
+
+    addr: int
+    nbytes: int = 1
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read access plus the Python value stored at ``addr`` (for flags and
+    in-memory locks)."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write access plus storing a Python value at ``addr``."""
+
+    addr: int
+    value: object
+
+
+@dataclass(frozen=True)
+class TestAndSet:
+    """Atomic test-and-set on the word at ``addr`` (requires ownership of
+    its page, exactly like a real TAS through a DSM).  Returns the
+    previous value — the building block of the lock that makes a
+    data-shipping system thrash (section 4.1)."""
+
+    #: Not a pytest class, despite the name.
+    __test__ = False
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class RpcLockAcquire:
+    """Acquire lock ``lock_id`` by RPC to its server node — the
+    deviation from pure data shipping that "recent versions of Ivy" use
+    for lock variables (section 4.1)."""
+
+    lock_id: int
+    server: int = 0
+
+
+@dataclass(frozen=True)
+class RpcLockRelease:
+    lock_id: int
+    server: int = 0
+
+
+@dataclass(frozen=True)
+class RpcBarrier:
+    """Meet at a centralized RPC barrier of ``parties`` processes."""
+
+    barrier_id: int
+    parties: int
+    server: int = 0

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the Amber reproduction.
+
+All errors raised by this package derive from :class:`AmberError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class AmberError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AddressSpaceError(AmberError):
+    """Violation of the global virtual address space rules."""
+
+
+class AddressExhaustedError(AddressSpaceError):
+    """The address-space server has no regions left to hand out."""
+
+
+class HeapError(AddressSpaceError):
+    """Invalid heap operation (bad free, double free, misaligned address)."""
+
+
+class DescriptorError(AmberError):
+    """Inconsistent object-descriptor state transition."""
+
+
+class ObjectNotFoundError(AmberError):
+    """An object reference could not be resolved to a resident object."""
+
+
+class AttachmentError(AmberError):
+    """Invalid attachment operation (self-attach, unknown edge, ...)."""
+
+
+class ImmutabilityError(AmberError):
+    """Attempt to mutate or illegally move an immutable object."""
+
+
+class MobilityError(AmberError):
+    """An object or thread move could not be performed."""
+
+
+class InvocationError(AmberError):
+    """A malformed invocation (unknown method, non-generator operation...)."""
+
+
+class SchedulerError(AmberError):
+    """Invalid scheduler configuration or state."""
+
+
+class SynchronizationError(AmberError):
+    """Misuse of a synchronization object (release without hold, waiting
+    on a condition without entering its monitor, ...)."""
+
+
+class SimulationError(AmberError):
+    """Internal inconsistency detected by the discrete-event engine."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation cannot make progress but live threads remain."""
+
+
+class RuntimeTransportError(AmberError):
+    """Failure in the live runtime's socket transport."""
+
+
+class ClusterError(AmberError):
+    """Failure while bootstrapping or shutting down a live cluster."""
+
+
+class RemoteInvocationError(AmberError):
+    """An exception was raised by remote user code during an invocation.
+
+    The original traceback text is preserved in ``remote_traceback``.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback

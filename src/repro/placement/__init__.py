@@ -1,0 +1,34 @@
+"""Higher-level object placement software (the paper's stated future
+direction).
+
+Section 2.3 closes: "Our assumption is that the best policy for managing
+location is application-specific and is best left to the program **or
+higher-level object placement software**."  Amber itself never decides
+placement — and neither does anything here: these are *advisors* that
+programs consult and then act on with the ordinary ``MoveTo``/``New``
+primitives, keeping location under explicit program control exactly as
+the paper requires (contrast Sloop's overridable hints and Orca's fully
+automatic placement, both discussed in §2.3).
+
+* :class:`~repro.placement.policies.RoundRobinPlacer`,
+  :class:`~repro.placement.policies.LeastPopulatedPlacer` — choose nodes
+  for new objects;
+* :class:`~repro.placement.policies.AffinityRebalancer` — mine the
+  kernel's access log for objects whose invocations mostly arrive from
+  some other node and suggest moving them there (the "reorganize object
+  locations following different computational phases" pattern of §2.3).
+"""
+
+from repro.placement.policies import (
+    AffinityRebalancer,
+    LeastPopulatedPlacer,
+    MoveSuggestion,
+    RoundRobinPlacer,
+)
+
+__all__ = [
+    "AffinityRebalancer",
+    "LeastPopulatedPlacer",
+    "MoveSuggestion",
+    "RoundRobinPlacer",
+]

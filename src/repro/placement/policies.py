@@ -1,0 +1,117 @@
+"""Placement advisors over the simulated cluster.
+
+All advisors are pure policy: they read cluster state and *suggest*;
+the program decides and moves.  See the package docstring for why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.cluster import SimCluster
+from repro.sim.objects import SimObject
+from repro.sim.thread import SimThread
+
+
+class RoundRobinPlacer:
+    """Spread new objects evenly: the classic static load-balancing
+    choice for regular problems (it is exactly how the SOR program lays
+    out its sections)."""
+
+    def __init__(self, nodes: int, start: int = 0):
+        self.nodes = nodes
+        self._next = start % nodes
+
+    def place(self) -> int:
+        node = self._next
+        self._next = (self._next + 1) % self.nodes
+        return node
+
+
+class LeastPopulatedPlacer:
+    """Place where the fewest objects currently live — a cheap dynamic
+    balance signal read from the per-node statistics."""
+
+    def __init__(self, cluster: SimCluster):
+        self._cluster = cluster
+
+    def place(self) -> int:
+        def population(node) -> int:
+            return (node.stats.objects_created + node.stats.objects_in
+                    - node.stats.objects_out)
+
+        best = min(self._cluster.nodes, key=lambda n: (population(n), n.id))
+        return best.id
+
+
+@dataclass(frozen=True)
+class MoveSuggestion:
+    """One recommended relocation, with the evidence behind it."""
+
+    obj: SimObject
+    dest: int
+    #: Invocations that arrived from ``dest`` since tracking began.
+    remote_count: int
+    #: Invocations that were already local at the current location.
+    local_count: int
+
+    @property
+    def gain(self) -> int:
+        """Accesses that would have been local had the object lived at
+        ``dest`` minus those that would have become remote."""
+        return self.remote_count - self.local_count
+
+
+class AffinityRebalancer:
+    """Suggest moving objects toward the node that invokes them most.
+
+    Reads the kernel's access log (``cluster.access_log``: per object,
+    per origin node invocation counts).  An object is suggested for
+    relocation when some other node accounts for at least
+    ``min_fraction`` of its invocations and at least ``min_accesses``
+    were observed.  Threads and attachment non-roots are skipped —
+    moving any group member moves the group, so one suggestion per
+    group suffices.
+    """
+
+    def __init__(self, min_accesses: int = 4, min_fraction: float = 0.5):
+        self.min_accesses = min_accesses
+        self.min_fraction = min_fraction
+
+    def suggest(self, cluster: SimCluster) -> List[MoveSuggestion]:
+        suggestions: List[MoveSuggestion] = []
+        seen_groups: set = set()
+        for vaddr, by_node in cluster.access_log.items():
+            obj = cluster.objects.get(vaddr)
+            if obj is None or isinstance(obj, SimThread):
+                continue
+            if getattr(obj, "_immutable", False):
+                continue   # replicate instead of moving read-only data
+            location = obj._location
+            if location is None:
+                continue
+            group = tuple(sorted(cluster.attachments.group(vaddr)))
+            if len(group) > 1:
+                if group in seen_groups:
+                    continue
+                seen_groups.add(group)
+            total = sum(by_node.values())
+            if total < self.min_accesses:
+                continue
+            best_node, best_count = max(
+                by_node.items(), key=lambda item: (item[1], -item[0]))
+            if best_node == location:
+                continue
+            if best_count / total < self.min_fraction:
+                continue
+            suggestions.append(MoveSuggestion(
+                obj=obj, dest=best_node, remote_count=best_count,
+                local_count=by_node.get(location, 0)))
+        suggestions.sort(key=lambda s: -s.gain)
+        return suggestions
+
+    def reset_log(self, cluster: SimCluster) -> None:
+        """Forget history — call at phase boundaries so stale affinity
+        does not dominate the next phase."""
+        cluster.access_log.clear()

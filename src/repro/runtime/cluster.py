@@ -1,0 +1,127 @@
+"""Cluster bootstrap and the driver-side API of the live runtime.
+
+The driver process is node 0: it runs the coordinator (a thread), its own
+:class:`~repro.runtime.kernel.NodeKernel`, and the user's program.  Nodes
+1..N-1 are child processes (fork start method, so classes defined in the
+driver script are visible everywhere).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Optional
+
+from repro.core.address_space import DEFAULT_REGION_BYTES
+from repro.errors import ClusterError
+from repro.runtime.coordinator import Coordinator, CoordinatorClient
+from repro.runtime.handles import Handle
+from repro.runtime.kernel import NodeKernel, ThreadHandle
+from repro.runtime.node import node_main
+
+
+class Cluster:
+    """A running Amber cluster.
+
+    Use as a context manager; everything is torn down on exit::
+
+        with Cluster(nodes=4) as cluster:
+            counter = cluster.create(Counter, node=2)
+            counter.add(1)
+    """
+
+    def __init__(self, nodes: int = 2,
+                 region_bytes: int = DEFAULT_REGION_BYTES,
+                 start_timeout: float = 30.0):
+        if nodes < 1:
+            raise ClusterError("a cluster needs at least one node")
+        self.num_nodes = nodes
+        self._coordinator = Coordinator(nodes, region_bytes)
+        context = multiprocessing.get_context("fork")
+        self._processes: List[multiprocessing.Process] = []
+        for node_id in range(1, nodes):
+            process = context.Process(
+                target=node_main,
+                args=(node_id, self._coordinator.address, region_bytes),
+                name=f"amber-node-{node_id}", daemon=True)
+            process.start()
+            self._processes.append(process)
+        self._client = CoordinatorClient(self._coordinator.address,
+                                         region_bytes)
+        self.kernel = NodeKernel(0, self._client)
+        self._client.register(0, self.kernel.mesh.address)
+        directory = self._client.wait_directory(timeout=start_timeout)
+        self.kernel.mesh.set_directory(directory)
+        self._alive = True
+
+    # -- program-facing API -------------------------------------------------
+
+    def create(self, cls: type, *args, node: Optional[int] = None,
+               **kwargs) -> Handle:
+        """Create an object of ``cls``; on ``node`` if given, else here."""
+        self._check_node(node)
+        return self.kernel.create(cls, args, kwargs, node)
+
+    def call(self, handle: Handle, method: str, *args, **kwargs) -> Any:
+        """Synchronous invocation (``handle.method(...)`` sugar does the
+        same thing)."""
+        return self.kernel.invoke(handle.vaddr, method, args, kwargs)
+
+    def fork(self, handle: Handle, method: str, *args,
+             **kwargs) -> ThreadHandle:
+        """Start an Amber thread running ``method`` on the object; join
+        it with ``.join()``."""
+        return self.kernel.fork(handle.vaddr, method, args, kwargs)
+
+    def move(self, handle: Handle, node: int) -> None:
+        """MoveTo: relocate the object and its attachment group
+        (immutable objects are copied instead)."""
+        self._check_node(node)
+        self.kernel.move(handle.vaddr, node)
+
+    def locate(self, handle: Handle) -> int:
+        return self.kernel.locate(handle.vaddr)
+
+    def set_immutable(self, handle: Handle) -> None:
+        self.kernel.control(handle.vaddr, "set_immutable")
+
+    def attach(self, handle: Handle, to: Handle) -> None:
+        self.kernel.control(handle.vaddr, "attach", to.vaddr)
+
+    def unattach(self, handle: Handle) -> None:
+        self.kernel.control(handle.vaddr, "unattach")
+
+    def delete(self, handle: Handle) -> None:
+        self.kernel.control(handle.vaddr, "delete")
+
+    def node_stats(self, node: int) -> Dict[str, int]:
+        """Kernel counters of one node (invocations, forwards, moves...)."""
+        self._check_node(node)
+        return self.kernel.node_stats(node)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if not self._alive:
+            return
+        self._alive = False
+        self._coordinator.broadcast_shutdown()
+        for process in self._processes:
+            process.join(timeout=5)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2)
+        self.kernel.shutdown()
+        self._client.close()
+        self._coordinator.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _check_node(self, node: Optional[int]) -> None:
+        if node is not None and not 0 <= node < self.num_nodes:
+            raise ClusterError(
+                f"no such node {node} (cluster has {self.num_nodes})")

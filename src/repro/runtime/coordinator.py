@@ -1,0 +1,187 @@
+"""The coordinator: the address-space server plus cluster bootstrap.
+
+One coordinator runs (as a thread) in the driver process.  It plays the
+role of the paper's *address-space server* (section 3.1): the single
+authority handing out disjoint regions of the global address space, and
+answering "who owns the region containing this address?" queries (the
+home-node derivation of section 3.3).  It also brokers startup — nodes
+register their mesh addresses and receive the full directory once
+everyone has arrived — and fans out shutdown.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.core.address_space import (
+    DEFAULT_REGION_BYTES,
+    AddressSpaceServer,
+    Region,
+)
+from repro.errors import AddressSpaceError, ClusterError
+from repro.runtime import messages as m
+from repro.runtime.transport import recv_frame, send_frame
+
+
+class Coordinator:
+    """Serves registration, region grants, and region queries."""
+
+    def __init__(self, expected_nodes: int,
+                 region_bytes: int = DEFAULT_REGION_BYTES,
+                 host: str = "127.0.0.1"):
+        self.expected_nodes = expected_nodes
+        self.server = AddressSpaceServer(region_bytes)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(expected_nodes + 4)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._lock = threading.Lock()
+        self._registered: Dict[int, Tuple[str, int]] = {}
+        self._connections: Dict[int, socket.socket] = {}
+        self._closing = threading.Event()
+        threading.Thread(target=self._accept_loop, daemon=True,
+                         name="coordinator-accept").start()
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(conn,),
+                             daemon=True, name="coordinator-serve").start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        node: Optional[int] = None
+        try:
+            while True:
+                message = recv_frame(conn)
+                if isinstance(message, m.RegisterNode):
+                    node = message.node
+                    with self._lock:
+                        self._registered[node] = message.address
+                        self._connections[node] = conn
+                        complete = (len(self._registered)
+                                    == self.expected_nodes)
+                        directory = dict(self._registered)
+                        connections = list(self._connections.values())
+                    if complete:
+                        for peer in connections:
+                            send_frame(peer, m.NodeDirectory(directory))
+                elif isinstance(message, m.RegionRequest):
+                    region = self.server.grant_region(message.node)
+                    send_frame(conn, m.RegionGrant(
+                        message.request_id, region.base, region.size,
+                        region.owner_node))
+                elif isinstance(message, m.RegionQuery):
+                    try:
+                        region = self.server.region_for(message.address)
+                        send_frame(conn, m.RegionAnswer(
+                            message.request_id, region.base, region.size,
+                            region.owner_node))
+                    except AddressSpaceError:
+                        send_frame(conn, m.RegionAnswer(
+                            message.request_id, 0, 0, -1))
+        except (ConnectionError, OSError, EOFError):
+            return
+        finally:
+            conn.close()
+
+    def broadcast_shutdown(self) -> None:
+        with self._lock:
+            connections = list(self._connections.values())
+        for conn in connections:
+            try:
+                send_frame(conn, m.Shutdown())
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+class CoordinatorClient:
+    """Per-process client; also duck-types the address-space server
+    interface :class:`~repro.core.address_space.NodeHeap` expects
+    (``grant_region`` / ``region_bytes``)."""
+
+    def __init__(self, address: Tuple[str, int],
+                 region_bytes: int = DEFAULT_REGION_BYTES):
+        self.region_bytes = region_bytes
+        self._sock = socket.create_connection(address, timeout=10)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, "queue.SimpleQueue"] = {}
+        self._next_request = 1
+        self._request_lock = threading.Lock()
+        self._directory: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.shutdown_event = threading.Event()
+        threading.Thread(target=self._reader, daemon=True,
+                         name="coordinator-client").start()
+
+    def _reader(self) -> None:
+        try:
+            while True:
+                message = recv_frame(self._sock)
+                if isinstance(message, m.NodeDirectory):
+                    self._directory.put(message.addresses)
+                elif isinstance(message, (m.RegionGrant, m.RegionAnswer)):
+                    box = self._pending.pop(message.request_id, None)
+                    if box is not None:
+                        box.put(message)
+                elif isinstance(message, m.Shutdown):
+                    self.shutdown_event.set()
+        except (ConnectionError, OSError, EOFError):
+            self.shutdown_event.set()
+
+    def _request(self, build) -> object:
+        with self._request_lock:
+            request_id = self._next_request
+            self._next_request += 1
+        box: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._pending[request_id] = box
+        with self._send_lock:
+            send_frame(self._sock, build(request_id))
+        try:
+            return box.get(timeout=30)
+        except queue.Empty:
+            raise ClusterError("coordinator did not answer") from None
+
+    def register(self, node: int, address: Tuple[str, int]) -> None:
+        with self._send_lock:
+            send_frame(self._sock, m.RegisterNode(node, address))
+
+    def wait_directory(self, timeout: float = 30.0
+                       ) -> Dict[int, Tuple[str, int]]:
+        try:
+            return self._directory.get(timeout=timeout)
+        except queue.Empty:
+            raise ClusterError(
+                "cluster did not finish registering in time") from None
+
+    # -- AddressSpaceServer interface for NodeHeap ------------------------
+
+    def grant_region(self, node: int) -> Region:
+        answer = self._request(lambda rid: m.RegionRequest(rid, node))
+        return Region(answer.base, answer.size, answer.owner)
+
+    def query_region(self, address: int) -> Optional[Region]:
+        answer = self._request(
+            lambda rid: m.RegionQuery(rid, -1, address))
+        if answer.owner < 0:
+            return None
+        return Region(answer.base, answer.size, answer.owner)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass

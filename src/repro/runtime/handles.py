@@ -1,0 +1,57 @@
+"""Handles: the uniform object references of the live runtime.
+
+A :class:`Handle` is what programs hold instead of raw objects — the
+analogue of an Amber virtual address.  Attribute access returns a bound
+remote method, so ``handle.add(5)`` invokes ``add`` wherever the object
+currently lives (function shipping).  Handles pickle to just their
+address and rebind to the local kernel when unpickled, which is what
+makes references transmissible across node boundaries with uniform
+semantics (section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import objects as _objects
+
+
+class Handle:
+    """A location-transparent reference to an Amber object."""
+
+    __slots__ = ("vaddr",)
+
+    def __init__(self, vaddr: int):
+        self.vaddr = vaddr
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _RemoteMethod(self, name)
+
+    def __reduce__(self):
+        return (Handle, (self.vaddr,))
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Handle) and other.vaddr == self.vaddr
+
+    def __hash__(self) -> int:
+        return hash(("amber-handle", self.vaddr))
+
+    def __repr__(self) -> str:
+        return f"<Handle {self.vaddr:#x}>"
+
+
+class _RemoteMethod:
+    __slots__ = ("_handle", "_name")
+
+    def __init__(self, handle: Handle, name: str):
+        self._handle = handle
+        self._name = name
+
+    def __call__(self, *args, **kwargs):
+        kernel = _objects.process_kernel()
+        return kernel.invoke(self._handle.vaddr, self._name, args, kwargs)
+
+    def __repr__(self) -> str:
+        return f"<remote {self._name} of {self._handle!r}>"

@@ -1,0 +1,570 @@
+"""The per-node kernel of the live runtime.
+
+Each OS process runs exactly one :class:`NodeKernel`.  It owns the node's
+slice of the global object space: the object table, the descriptor table
+(resident / forwarding / uninitialized — reusing the core model), the
+attachment graph for resident groups, and a heap fed by region grants
+from the coordinator (the address-space server of section 3.1).
+
+Invocation is function shipping: a non-resident target sends the
+activation to the believed holder, chasing forwarding chains hop by hop
+with home-node fallback; the node that finally executes sends
+:class:`LocationHint` messages back along the chase path (path caching).
+Every executing invocation holds a *bind count* on its object; ``move``
+drains the group's bind counts before shipping state (see the package
+docstring for why this stands in for §3.5's bound-thread migration).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.address_space import NodeHeap, Region
+from repro.core.attachment import AttachmentGraph
+from repro.core.descriptor import DescriptorTable
+from repro.errors import (
+    AmberError,
+    AttachmentError,
+    ImmutabilityError,
+    MobilityError,
+    ObjectNotFoundError,
+    RemoteInvocationError,
+)
+from repro.runtime import messages as m
+from repro.runtime.handles import Handle
+from repro.runtime.objects import AmberObject, set_process_kernel
+from repro.runtime.transport import Mesh
+
+#: Forwarding-chase guard (generous: chains are short, but a move's
+#: install window can bounce a request a few times).
+MAX_TRACE = 256
+
+#: Seconds a move waits for active invocations of the group to drain.
+MOVE_DRAIN_TIMEOUT = 30.0
+
+#: Ceiling on waiting for any reply.  Every request is guaranteed an
+#: answer (even pickling failures reply with an error), so hitting this
+#: indicates a lost peer; better a TimeoutError than a silent hang.
+DEFAULT_REPLY_TIMEOUT = 120.0
+
+
+class ThreadHandle:
+    """A started Amber thread: an outstanding shipped activation."""
+
+    def __init__(self, kernel: "NodeKernel", request_id: int,
+                 description: str):
+        self._kernel = kernel
+        self._request_id = request_id
+        self.description = description
+
+    def join(self, timeout: Optional[float] = None):
+        """Wait for the thread to finish; returns its result or re-raises
+        its exception (like the Join primitive)."""
+        return self._kernel.wait_reply(self._request_id, timeout)
+
+    def __repr__(self) -> str:
+        return f"<ThreadHandle {self.description}>"
+
+
+class NodeKernel:
+    def __init__(self, node_id: int, coordinator_client):
+        self.node_id = node_id
+        self._coord = coordinator_client
+        self.mesh = Mesh(node_id, self._on_message)
+        self._state = threading.RLock()
+        self._drained = threading.Condition(self._state)
+        self._objects: Dict[int, AmberObject] = {}
+        self._descriptors = DescriptorTable(node_id)
+        self._attachments = AttachmentGraph()
+        self._bind: Dict[int, int] = {}
+        self._regions: Dict[int, Region] = {}
+        self._heap = NodeHeap(node_id, coordinator_client,
+                              on_grant=self._record_region)
+        self._pending: Dict[int, "queue.SimpleQueue"] = {}
+        self._request_ids = itertools.count(node_id, 1_000_003)
+        self.stats: Dict[str, int] = {
+            "local_invocations": 0,
+            "remote_invocations": 0,
+            "invocations_executed": 0,
+            "forwards": 0,
+            "moves_in": 0,
+            "moves_out": 0,
+            "replicas_installed": 0,
+            "hints": 0,
+        }
+        set_process_kernel(self)
+
+    # ------------------------------------------------------------------
+    # Public API (used by Cluster and by code inside operations)
+    # ------------------------------------------------------------------
+
+    def create(self, cls: type, args: Tuple, kwargs: dict,
+               node: Optional[int] = None) -> Handle:
+        """Create an object (locally, or on ``node``)."""
+        if node is None or node == self.node_id:
+            return Handle(self._create_local(cls, args, kwargs))
+        request_id, box = self._new_request()
+        self.mesh.send(node, m.CreateMsg(request_id, self.node_id,
+                                         cls, args, kwargs))
+        return Handle(self._await(box, request_id=request_id))
+
+    def invoke(self, vaddr: int, method: str, args: Tuple,
+               kwargs: dict) -> Any:
+        """Invoke ``method`` on the object at ``vaddr`` (synchronously,
+        wherever it lives)."""
+        obj = self._resident_object(vaddr)
+        if obj is not None:
+            self.stats["local_invocations"] += 1
+            return self._execute(obj, method, args, kwargs)
+        self.stats["remote_invocations"] += 1
+        request_id, box = self._new_request()
+        message = m.InvokeMsg(request_id, self.node_id, vaddr, method,
+                              args, kwargs, trace=(self.node_id,))
+        self.mesh.send(self._believed(vaddr), message)
+        return self._await(box, request_id=request_id)
+
+    def fork(self, vaddr: int, method: str, args: Tuple,
+             kwargs: dict) -> ThreadHandle:
+        """Start an Amber thread running ``method`` on the object; it
+        executes at the object's node."""
+        request_id, box = self._new_request()
+        message = m.InvokeMsg(request_id, self.node_id, vaddr, method,
+                              args, kwargs, trace=(self.node_id,))
+        target = self._believed(vaddr) if self._resident_object(vaddr) \
+            is None else self.node_id
+        self.mesh.send(target, message)
+        return ThreadHandle(self, request_id, f"{method}@{vaddr:#x}")
+
+    def move(self, vaddr: int, dest: int) -> None:
+        """MoveTo: relocate the object (and its attachment group)."""
+        request_id, box = self._new_request()
+        message = m.MoveMsg(request_id, self.node_id, vaddr, dest)
+        self.mesh.send(self._believed_or_here(vaddr), message)
+        self._await(box, request_id=request_id)
+
+    def locate(self, vaddr: int) -> int:
+        """Locate: the node where the object currently resides."""
+        if self._resident_object(vaddr) is not None:
+            return self.node_id
+        request_id, box = self._new_request()
+        self.mesh.send(self._believed(vaddr),
+                       m.LocateMsg(request_id, self.node_id, vaddr,
+                                   trace=(self.node_id,)))
+        return self._await(box, request_id=request_id)
+
+    def control(self, vaddr: int, op: str, extra: Any = None) -> Any:
+        """Routed kernel operation on an object: ``set_immutable``,
+        ``attach``, ``unattach``, ``delete``."""
+        request_id, box = self._new_request()
+        message = m.ControlMsg(request_id, self.node_id, vaddr, op, extra)
+        self.mesh.send(self._believed_or_here(vaddr), message)
+        return self._await(box, request_id=request_id)
+
+    def node_stats(self, node: int) -> Dict[str, int]:
+        if node == self.node_id:
+            return dict(self.stats)
+        request_id, box = self._new_request()
+        self.mesh.send(node, m.ControlMsg(request_id, self.node_id,
+                                          -1, "stats", None))
+        return self._await(box, request_id=request_id)
+
+    def wait_reply(self, request_id: int,
+                   timeout: Optional[float] = None) -> Any:
+        box = self._pending.get(request_id)
+        if box is None:
+            raise AmberError(f"unknown request id {request_id}")
+        return self._await(box, timeout, request_id)
+
+    def shutdown(self) -> None:
+        self.mesh.close()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+
+    def _new_request(self) -> Tuple[int, "queue.SimpleQueue"]:
+        request_id = next(self._request_ids)
+        box: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._pending[request_id] = box
+        return request_id, box
+
+    def _await(self, box: "queue.SimpleQueue",
+               timeout: Optional[float] = None,
+               request_id: Optional[int] = None) -> Any:
+        try:
+            ok, value, error = box.get(
+                timeout=DEFAULT_REPLY_TIMEOUT if timeout is None
+                else timeout)
+        except queue.Empty:
+            raise TimeoutError("no reply within timeout") from None
+        finally:
+            if request_id is not None:
+                self._pending.pop(request_id, None)
+        if ok:
+            return value
+        raise error
+
+    def _reply(self, to_node: int, request_id: int, value: Any) -> None:
+        try:
+            self.mesh.send(to_node, m.ResultMsg(request_id, True, value))
+        except Exception as error:
+            # Most often: the result is not picklable.  The caller must
+            # still get an answer or it would wait forever.
+            self._reply_error(
+                to_node, request_id,
+                RemoteInvocationError(
+                    f"result could not be transmitted: "
+                    f"{type(error).__name__}: {error}"))
+
+    def _reply_error(self, to_node: int, request_id: int,
+                     error: BaseException) -> None:
+        try:
+            import pickle
+            pickle.dumps(error)
+        except Exception:
+            error = RemoteInvocationError(
+                f"{type(error).__name__}: {error}",
+                remote_traceback=traceback.format_exc())
+        self.mesh.send(to_node,
+                       m.ResultMsg(request_id, False, None, error))
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+
+    def _resident_object(self, vaddr: int) -> Optional[AmberObject]:
+        with self._state:
+            if self._descriptors.is_resident(vaddr):
+                return self._objects.get(vaddr)
+        return None
+
+    def _believed(self, vaddr: int) -> int:
+        """Where to send a request for a non-resident object."""
+        with self._state:
+            descriptor = self._descriptors.lookup(vaddr)
+        if descriptor is not None and not descriptor.resident:
+            return descriptor.forward_to
+        home = self._home_node(vaddr)
+        if home == self.node_id:
+            raise ObjectNotFoundError(
+                f"object {vaddr:#x} unknown at its home node "
+                f"{self.node_id}")
+        return home
+
+    def _believed_or_here(self, vaddr: int) -> int:
+        return (self.node_id if self._resident_object(vaddr) is not None
+                else self._believed(vaddr))
+
+    def _home_node(self, vaddr: int) -> int:
+        for region in self._regions.values():
+            if region.contains(vaddr):
+                return region.owner_node
+        region = self._coord.query_region(vaddr)
+        if region is None:
+            raise ObjectNotFoundError(
+                f"address {vaddr:#x} lies in no granted region")
+        self._record_region(region)
+        return region.owner_node
+
+    def _record_region(self, region: Region) -> None:
+        self._regions[region.base] = region
+
+    # ------------------------------------------------------------------
+    # Object management
+    # ------------------------------------------------------------------
+
+    def _create_local(self, cls: type, args: Tuple, kwargs: dict) -> int:
+        obj = cls(*args, **kwargs)
+        if not isinstance(obj, AmberObject):
+            raise AmberError(
+                f"{cls.__name__} does not derive from AmberObject")
+        with self._state:
+            vaddr = self._heap.allocate(64)
+            obj._amber_vaddr = vaddr
+            obj._amber_home = self.node_id
+            self._objects[vaddr] = obj
+            self._descriptors.set_resident(vaddr)
+        return vaddr
+
+    def _execute(self, obj: AmberObject, method: str, args: Tuple,
+                 kwargs: dict) -> Any:
+        fn = getattr(obj, method, None)
+        if fn is None or not callable(fn):
+            raise AmberError(
+                f"{type(obj).__name__} has no operation {method!r}")
+        vaddr = obj._amber_vaddr
+        with self._state:
+            self._bind[vaddr] = self._bind.get(vaddr, 0) + 1
+        try:
+            self.stats["invocations_executed"] += 1
+            return fn(*args, **kwargs)
+        finally:
+            with self._state:
+                self._bind[vaddr] -= 1
+                if self._bind[vaddr] == 0:
+                    del self._bind[vaddr]
+                    self._drained.notify_all()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    _INLINE = (m.ResultMsg, m.InstallAck, m.LocationHint)
+
+    def _on_message(self, peer: int, message: Any) -> None:
+        if isinstance(message, m.ResultMsg):
+            box = self._pending.get(message.request_id)
+            if box is not None:
+                box.put((message.ok, message.value, message.error))
+            return
+        if isinstance(message, m.LocationHint):
+            with self._state:
+                self._descriptors.update_hint(message.vaddr, message.node)
+            self.stats["hints"] += 1
+            return
+        # Everything else may block: run it on its own worker thread.
+        threading.Thread(target=self._dispatch, args=(message,),
+                         name=f"amber-worker-{self.node_id}",
+                         daemon=True).start()
+
+    def _dispatch(self, message: Any) -> None:
+        try:
+            if isinstance(message, m.InvokeMsg):
+                self._handle_invoke(message)
+            elif isinstance(message, m.CreateMsg):
+                self._handle_create(message)
+            elif isinstance(message, m.MoveMsg):
+                self._handle_move(message)
+            elif isinstance(message, m.InstallMsg):
+                self._handle_install(message)
+            elif isinstance(message, m.LocateMsg):
+                self._handle_locate(message)
+            elif isinstance(message, m.FetchReplicaMsg):
+                self._handle_fetch_replica(message)
+            elif isinstance(message, m.ControlMsg):
+                self._handle_control(message)
+            # Unknown messages are dropped (forward compatibility).
+        except Exception:  # pragma: no cover - last-ditch diagnostics
+            traceback.print_exc()
+
+    def _forward(self, message, vaddr: int) -> bool:
+        """Forward a routed message one hop along the chain.  Returns
+        False (with an error reply) when the chase is hopeless."""
+        trace = message.trace + (self.node_id,)
+        if len(trace) > MAX_TRACE:
+            self._reply_error(message.reply_to, message.request_id,
+                              ObjectNotFoundError(
+                                  f"object {vaddr:#x}: chase exceeded "
+                                  f"{MAX_TRACE} hops"))
+            return False
+        try:
+            target = self._believed(vaddr)
+        except ObjectNotFoundError as error:
+            self._reply_error(message.reply_to, message.request_id, error)
+            return False
+        if message.trace and target == message.trace[-1]:
+            # Immediate bounce: the object is probably mid-move; let the
+            # install land before chasing again.
+            time.sleep(0.005)
+        self.stats["forwards"] += 1
+        self.mesh.send(target,
+                       type(message)(**{**message.__dict__,
+                                        "trace": trace}))
+        return True
+
+    def _send_hints(self, trace: Tuple[int, ...], vaddr: int) -> None:
+        for node in trace:
+            if node != self.node_id:
+                self.mesh.send(node, m.LocationHint(vaddr, self.node_id))
+
+    def _handle_invoke(self, message: m.InvokeMsg) -> None:
+        obj = self._resident_object(message.vaddr)
+        if obj is None:
+            self._forward(message, message.vaddr)
+            return
+        if len(message.trace) > 1:
+            # The request was forwarded at least once: refresh the stale
+            # descriptors along the chase path, including the origin's.
+            self._send_hints(message.trace, message.vaddr)
+        try:
+            value = self._execute(obj, message.method, message.args,
+                                  message.kwargs)
+        except BaseException as error:
+            self._reply_error(message.reply_to, message.request_id, error)
+            return
+        self._reply(message.reply_to, message.request_id, value)
+        if obj._amber_immutable and message.reply_to != self.node_id:
+            # Read-only object invoked remotely: push a replica so the
+            # caller's future reads are local (section 2.3).
+            self._ship_replica(obj, message.reply_to)
+
+    def _handle_create(self, message: m.CreateMsg) -> None:
+        try:
+            vaddr = self._create_local(message.cls, message.args,
+                                       message.kwargs)
+        except BaseException as error:
+            self._reply_error(message.reply_to, message.request_id, error)
+            return
+        self._reply(message.reply_to, message.request_id, vaddr)
+
+    def _handle_locate(self, message: m.LocateMsg) -> None:
+        if self._resident_object(message.vaddr) is None:
+            self._forward(message, message.vaddr)
+            return
+        if len(message.trace) > 1:
+            self._send_hints(message.trace, message.vaddr)
+        self._reply(message.reply_to, message.request_id, self.node_id)
+
+    # -- moves and replication ------------------------------------------
+
+    def _handle_move(self, message: m.MoveMsg) -> None:
+        obj = self._resident_object(message.vaddr)
+        if obj is None:
+            self._forward(message, message.vaddr)
+            return
+        if message.dest == self.node_id:
+            self._reply(message.reply_to, message.request_id, None)
+            return
+        try:
+            if obj._amber_immutable:
+                self._ship_replica(obj, message.dest, wait_ack=True)
+            else:
+                self._move_group_out(message.vaddr, message.dest)
+        except BaseException as error:
+            self._reply_error(message.reply_to, message.request_id, error)
+            return
+        self._reply(message.reply_to, message.request_id, None)
+
+    def _move_group_out(self, vaddr: int, dest: int) -> None:
+        deadline = time.monotonic() + MOVE_DRAIN_TIMEOUT
+        with self._state:
+            group = self._attachments.group(vaddr)
+            # Wait for active invocations of every member to drain.
+            while any(self._bind.get(member, 0) for member in group):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise MobilityError(
+                        f"move of {vaddr:#x}: active invocations did not "
+                        f"drain within {MOVE_DRAIN_TIMEOUT}s")
+                self._drained.wait(remaining)
+            shipment: Dict[int, AmberObject] = {}
+            edges = []
+            for member in group:
+                member_obj = self._objects.pop(member, None)
+                if member_obj is None:
+                    raise MobilityError(
+                        f"attachment group of {vaddr:#x} is not fully "
+                        f"resident here")
+                shipment[member] = member_obj
+                for target in self._attachments.attachments_of(member):
+                    edges.append((member, target))
+            for member in group:
+                self._attachments.drop(member)
+                self._descriptors.set_forwarding(member, dest)
+        request_id, box = self._new_request()
+        self.mesh.send(dest, m.InstallMsg(request_id, self.node_id,
+                                          shipment, tuple(edges)))
+        self._await(box, request_id=request_id)
+        self.stats["moves_out"] += 1
+
+    def _ship_replica(self, obj: AmberObject, dest: int,
+                      wait_ack: bool = False) -> None:
+        request_id, box = self._new_request()
+        self.mesh.send(dest, m.InstallMsg(
+            request_id, self.node_id, {obj._amber_vaddr: obj}, (),
+            replica=True))
+        if wait_ack:
+            self._await(box, request_id=request_id)
+        else:
+            self._pending.pop(request_id, None)
+
+    def _handle_install(self, message: m.InstallMsg) -> None:
+        with self._state:
+            for vaddr, obj in message.objects.items():
+                if message.replica and self._descriptors.is_resident(vaddr):
+                    continue   # already have a replica
+                self._objects[vaddr] = obj
+                self._descriptors.set_resident(vaddr)
+            for source, target in message.attach_edges:
+                self._attachments.attach(source, target)
+        if message.replica:
+            self.stats["replicas_installed"] += len(message.objects)
+        else:
+            self.stats["moves_in"] += len(message.objects)
+        self.mesh.send(message.reply_to,
+                       m.ResultMsg(message.request_id, True, None))
+
+    def _handle_fetch_replica(self, message: m.FetchReplicaMsg) -> None:
+        obj = self._resident_object(message.vaddr)
+        if obj is None:
+            self._forward(message, message.vaddr)
+            return
+        if not obj._amber_immutable:
+            self._reply_error(message.reply_to, message.request_id,
+                              ImmutabilityError(
+                                  f"object {message.vaddr:#x} is mutable; "
+                                  "replicas are only made of immutables"))
+            return
+        self._ship_replica(obj, message.reply_to)
+        self._reply(message.reply_to, message.request_id, None)
+
+    # -- control operations ---------------------------------------------
+
+    def _handle_control(self, message: m.ControlMsg) -> None:
+        if message.op == "stats":
+            self._reply(message.reply_to, message.request_id,
+                        dict(self.stats))
+            return
+        obj = self._resident_object(message.vaddr)
+        if obj is None:
+            self._forward(message, message.vaddr)
+            return
+        try:
+            value = self._control_resident(obj, message.op, message.extra)
+        except BaseException as error:
+            self._reply_error(message.reply_to, message.request_id, error)
+            return
+        self._reply(message.reply_to, message.request_id, value)
+
+    def _control_resident(self, obj: AmberObject, op: str,
+                          extra: Any) -> Any:
+        vaddr = obj._amber_vaddr
+        if op == "set_immutable":
+            with self._state:
+                if self._attachments.group(vaddr) != [vaddr]:
+                    raise ImmutabilityError(
+                        "detach objects before marking them immutable")
+                obj._amber_immutable = True
+            return None
+        if op == "attach":
+            other = extra
+            with self._state:
+                if not self._descriptors.is_resident(other):
+                    raise AttachmentError(
+                        "Attach requires co-located objects; "
+                        f"{other:#x} is not resident here")
+                if obj._amber_immutable or \
+                        self._objects[other]._amber_immutable:
+                    raise AttachmentError(
+                        "immutable (replicated) objects cannot be attached")
+                self._attachments.attach(vaddr, other)
+            return None
+        if op == "unattach":
+            with self._state:
+                self._attachments.unattach(vaddr)
+            return None
+        if op == "delete":
+            with self._state:
+                if self._bind.get(vaddr, 0):
+                    raise MobilityError(
+                        f"cannot delete {vaddr:#x} during an invocation")
+                self._objects.pop(vaddr, None)
+                self._descriptors.clear(vaddr)
+                self._attachments.drop(vaddr)
+            return None
+        raise AmberError(f"unknown control op {op!r}")

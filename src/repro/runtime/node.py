@@ -1,0 +1,21 @@
+"""Entry point of a non-driver node process."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.runtime.coordinator import CoordinatorClient
+from repro.runtime.kernel import NodeKernel
+
+
+def node_main(node_id: int, coordinator_address: Tuple[str, int],
+              region_bytes: int) -> None:
+    """Run one node until the coordinator says shutdown."""
+    client = CoordinatorClient(coordinator_address, region_bytes)
+    kernel = NodeKernel(node_id, client)
+    client.register(node_id, kernel.mesh.address)
+    directory = client.wait_directory()
+    kernel.mesh.set_directory(directory)
+    client.shutdown_event.wait()
+    kernel.shutdown()
+    client.close()

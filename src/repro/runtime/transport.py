@@ -1,0 +1,167 @@
+"""Length-framed pickle over TCP, plus the per-node connection mesh.
+
+Framing: 4-byte big-endian length, then the pickle.  Each node keeps one
+outgoing connection per peer (dialed lazily, kept forever) and accepts
+any number of incoming connections, each drained by a reader thread that
+hands decoded messages to a callback.  The first frame on a dialed
+connection is a :class:`~repro.runtime.messages.Hello`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import RuntimeTransportError
+from repro.runtime.messages import Hello
+
+_LENGTH = struct.Struct(">I")
+
+#: Ceiling on a single frame (a moved object group); prevents a corrupt
+#: length prefix from triggering a giant allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, payload: Any) -> None:
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise RuntimeTransportError(
+            f"frame of {len(data)} bytes exceeds limit")
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RuntimeTransportError(f"oversized frame: {length} bytes")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class Mesh:
+    """One node's connections: a listener for inbound traffic and a lazy
+    dial-out table for outbound sends."""
+
+    def __init__(self, node: int,
+                 on_message: Callable[[int, Any], None],
+                 host: str = "127.0.0.1"):
+        self.node = node
+        self._on_message = on_message
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._peers: Dict[int, Tuple[str, int]] = {}
+        self._out: Dict[int, socket.socket] = {}
+        self._out_locks: Dict[int, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"mesh-accept-{node}",
+            daemon=True)
+        self._accept_thread.start()
+
+    # -- outbound ---------------------------------------------------------
+
+    def set_directory(self, addresses: Dict[int, Tuple[str, int]]) -> None:
+        with self._lock:
+            self._peers.update(addresses)
+
+    def send(self, node: int, message: Any) -> None:
+        """Send one message to ``node`` (dialing on first use)."""
+        if node == self.node:
+            # Local delivery without touching the network.
+            self._on_message(self.node, message)
+            return
+        sock = self._connection_to(node)
+        lock = self._out_locks[node]
+        with lock:
+            try:
+                send_frame(sock, message)
+            except OSError as error:
+                if self._closing.is_set():
+                    return
+                raise RuntimeTransportError(
+                    f"node {self.node}: send to node {node} failed: "
+                    f"{error}") from error
+
+    def _connection_to(self, node: int) -> socket.socket:
+        with self._lock:
+            sock = self._out.get(node)
+            if sock is not None:
+                return sock
+            address = self._peers.get(node)
+        if address is None:
+            raise RuntimeTransportError(
+                f"node {self.node}: no address for node {node}")
+        sock = socket.create_connection(address, timeout=10)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._lock:
+            existing = self._out.get(node)
+            if existing is not None:
+                sock.close()
+                return existing
+            self._out[node] = sock
+            self._out_locks[node] = threading.Lock()
+        send_frame(sock, Hello(self.node))
+        return sock
+
+    # -- inbound ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(target=self._reader_loop, args=(conn,),
+                             name=f"mesh-reader-{self.node}",
+                             daemon=True).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        peer: Optional[int] = None
+        try:
+            hello = recv_frame(conn)
+            if isinstance(hello, Hello):
+                peer = hello.node
+            while True:
+                message = recv_frame(conn)
+                self._on_message(peer if peer is not None else -1, message)
+        except (ConnectionError, OSError, EOFError):
+            return
+        finally:
+            conn.close()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            for sock in self._out.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._out.clear()

@@ -1,0 +1,110 @@
+"""Deterministic discrete-event simulation of an Amber cluster.
+
+This backend models the paper's testbed — a network of small shared-memory
+multiprocessors — closely enough to regenerate its measurements: per-node
+CPUs with context switches and timeslicing, a shared 10 Mbit/s Ethernet with
+transmission-time contention, Firefly-RPC-like migration costs, and the full
+Amber kernel semantics (residency traps at invocation/return/context-switch
+time, bound-thread handling during moves, forwarding chains, immutable
+replication, attachment groups).
+
+User programs are written as Python generator *operations* on
+:class:`~repro.sim.objects.SimObject` subclasses that ``yield`` requests from
+:mod:`repro.sim.syscalls` (``Compute``, ``Invoke``, ``MoveTo``, ``Fork`` ...).
+:class:`~repro.sim.program.AmberProgram` assembles a cluster and runs a main
+operation to completion, returning the result, the simulated elapsed time,
+and detailed statistics.
+
+All timing comes from :class:`repro.core.costs.CostModel`; simulated clocks
+are integer nanoseconds, so runs are exactly reproducible.
+"""
+
+from repro.core.costs import CostModel
+from repro.sim.cluster import ClusterConfig, SimCluster
+from repro.sim.engine import Simulator
+from repro.sim.kernel import AmberKernel, InvocationContext
+from repro.sim.objects import SimObject
+from repro.sim.program import AmberProgram, ProgramResult, run_program
+from repro.sim.scheduler import (
+    FifoScheduler,
+    LifoScheduler,
+    PriorityScheduler,
+    Scheduler,
+)
+from repro.sim.sync import (
+    Barrier,
+    CondVar,
+    Lock,
+    Monitor,
+    ReaderWriterLock,
+    SpinLock,
+)
+from repro.sim.syscalls import (
+    Attach,
+    Charge,
+    Compute,
+    Delete,
+    FastInvoke,
+    Fork,
+    GetStats,
+    Invoke,
+    Join,
+    Locate,
+    MoveTo,
+    New,
+    NewThread,
+    Refresh,
+    SetImmutable,
+    SetScheduler,
+    Sleep,
+    Start,
+    Suspend,
+    Unattach,
+    Wakeup,
+    Yield,
+)
+
+__all__ = [
+    "AmberKernel",
+    "AmberProgram",
+    "Attach",
+    "Barrier",
+    "Charge",
+    "ClusterConfig",
+    "Compute",
+    "CondVar",
+    "CostModel",
+    "Delete",
+    "FastInvoke",
+    "FifoScheduler",
+    "Fork",
+    "GetStats",
+    "Invoke",
+    "InvocationContext",
+    "Join",
+    "LifoScheduler",
+    "Locate",
+    "Lock",
+    "Monitor",
+    "MoveTo",
+    "New",
+    "NewThread",
+    "PriorityScheduler",
+    "ProgramResult",
+    "ReaderWriterLock",
+    "Refresh",
+    "Scheduler",
+    "SetImmutable",
+    "SetScheduler",
+    "SimCluster",
+    "SimObject",
+    "Simulator",
+    "Sleep",
+    "SpinLock",
+    "Start",
+    "Suspend",
+    "Unattach",
+    "Wakeup",
+    "Yield",
+    "run_program",
+]

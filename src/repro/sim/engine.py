@@ -1,0 +1,115 @@
+"""The discrete-event engine: an integer-nanosecond clock and event queue.
+
+Every cause of simulated delay — CPU charges, wire time, protocol waits —
+becomes an event.  Events at equal timestamps fire in scheduling order
+(a monotonic sequence number breaks ties), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+NS_PER_US = 1000
+
+
+class Event:
+    """A scheduled callback.  ``cancel()`` makes it a no-op (lazy deletion:
+    the heap entry stays but is skipped when popped)."""
+
+    __slots__ = ("time_ns", "seq", "fn", "cancelled")
+
+    def __init__(self, time_ns: int, seq: int, fn: Callable[[], None]):
+        self.time_ns = time_ns
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+
+
+class Simulator:
+    """Event loop with a nanosecond clock.
+
+    ``max_events`` bounds total event count as a runaway-program backstop
+    (a simulation hitting it raises :class:`SimulationError` rather than
+    spinning forever).
+    """
+
+    def __init__(self, max_events: int = 500_000_000):
+        self.now_ns: int = 0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._events_run = 0
+        self.max_events = max_events
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self.now_ns / NS_PER_US
+
+    def schedule_us(self, delay_us: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay_us`` microseconds from now."""
+        if delay_us < 0:
+            raise SimulationError(f"negative delay: {delay_us}")
+        return self.schedule_at_ns(self.now_ns + round(delay_us * NS_PER_US),
+                                   fn)
+
+    def schedule_at_ns(self, time_ns: int, fn: Callable[[], None]) -> Event:
+        if time_ns < self.now_ns:
+            raise SimulationError(
+                f"event scheduled in the past: {time_ns} < {self.now_ns}")
+        event = Event(time_ns, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_now(self, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at the current time (after already-queued events
+        at this timestamp)."""
+        return self.schedule_at_ns(self.now_ns, fn)
+
+    def step(self) -> bool:
+        """Run the next non-cancelled event.  Returns False when the queue
+        is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now_ns = event.time_ns
+            self._events_run += 1
+            if self._events_run > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a livelocked simulation")
+            event.fn()
+            return True
+        return False
+
+    def run(self, until_us: Optional[float] = None) -> None:
+        """Drain the event queue, optionally stopping once the clock would
+        pass ``until_us``."""
+        if until_us is None:
+            while self.step():
+                pass
+            return
+        limit_ns = round(until_us * NS_PER_US)
+        while self._queue:
+            # Peek: stop before executing events beyond the horizon.
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time_ns > limit_ns:
+                break
+            self.step()
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)

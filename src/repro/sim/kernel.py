@@ -1,0 +1,1180 @@
+"""The simulated Amber kernel: scheduling, invocation, mobility.
+
+This module implements the paper's runtime semantics on the discrete-event
+substrate:
+
+* **Invocation path** (sections 3.2, 3.4): every invocation charges the
+  entry cost (frame push + residency check).  A resident target runs
+  locally; a non-resident one traps, and the *thread migrates* to the
+  object — marshal on the source CPU, wire time on the shared Ethernet,
+  unmarshal + dispatch on the destination CPU.  Returns mirror this with a
+  return-time check against the caller's object.
+* **Locating** (section 3.3): migrating threads and control messages follow
+  forwarding chains hop by hop; a node with an uninitialized descriptor
+  routes to the object's home node (derived from the address).  On arrival
+  the final location is cached along the visited path (path compression).
+* **Moves** (section 3.5): a move first marks the descriptor non-resident,
+  then briefly interrupts every other processor on the node so running
+  threads make a context-switch-time residency check; bound threads migrate
+  themselves when next scheduled, and suspended bound threads stay until
+  rescheduled — both exactly the paper's stated policy (including the lost
+  concurrency it admits to).  Because mutable objects are never copied
+  while resident state diverges (there is a single authoritative instance),
+  the multiprocessor races of section 3.5 affect *timing*, never state.
+* **Immutables** (section 2.3): ``MoveTo`` on an immutable copies it;
+  invoking a non-resident immutable fetches a local replica.
+
+Timing discipline: a request's simulated cost elapses *before* its state
+effects, so cross-CPU interleavings (e.g. two threads racing on a lock) are
+resolved in simulated-time order deterministically.
+
+One simplification is calibrated away rather than modeled: install work for
+arriving objects is a pure delay at the destination instead of occupying a
+destination CPU (moves are rare by the paper's own assumption 1 in §3.5);
+thread arrivals *do* occupy the destination CPU via the dispatch surcharge.
+A thread performing ``MoveTo``/``Locate`` holds its CPU for the duration of
+the synchronous protocol, matching the kernel-mediated move of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import (
+    AmberError,
+    AttachmentError,
+    InvocationError,
+    MobilityError,
+    ObjectNotFoundError,
+)
+from repro.sim import syscalls as sc
+from repro.sim.cluster import SimCluster
+from repro.sim.node import Cpu, SimNode
+from repro.sim.objects import SimObject, operation_of
+from repro.sim.thread import Activation, SimThread, ThreadState
+
+#: Safety bound on forwarding-chain chasing for one request.
+MAX_CHASE_HOPS = 1000
+
+
+class InvocationContext:
+    """Passed as the first argument to every operation body."""
+
+    __slots__ = ("_kernel", "thread")
+
+    def __init__(self, kernel: "AmberKernel", thread: SimThread):
+        self._kernel = kernel
+        self.thread = thread
+
+    @property
+    def node(self) -> int:
+        """The node the thread is currently executing on."""
+        return self.thread.location
+
+    @property
+    def now_us(self) -> float:
+        return self._kernel.sim.now_us
+
+    @property
+    def cluster(self) -> SimCluster:
+        return self._kernel.cluster
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._kernel.cluster.nodes)
+
+
+class AmberKernel:
+    """One kernel drives the whole simulated cluster (the per-node kernels
+    of the paper share no state except through messages; here the sharing
+    is confined to the address-space server and statistics, which the paper
+    also centralizes or replicates)."""
+
+    def __init__(self, cluster: SimCluster):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.costs = cluster.costs
+        self.net = cluster.network
+        self._next_tid = 0
+        self.threads: List[SimThread] = []
+        cluster.kernel = self
+
+    # ------------------------------------------------------------------
+    # Object management
+    # ------------------------------------------------------------------
+
+    def create_object(self, cls: type, args: Tuple, kwargs: dict,
+                      node_id: int, size_bytes: Optional[int]) -> SimObject:
+        """Allocate, construct, and register an object on ``node_id``."""
+        node = self.cluster.node(node_id)
+        obj = cls(*args, **kwargs)
+        if not isinstance(obj, SimObject):
+            raise InvocationError(
+                f"{cls.__name__} does not derive from SimObject")
+        size = size_bytes if size_bytes is not None else type(obj).SIZE_BYTES
+        vaddr = node.heap.allocate(size)
+        obj._amber_init(vaddr, node_id, size)
+        self.cluster.objects[vaddr] = obj
+        node.descriptors.set_resident(vaddr)
+        node.stats.objects_created += 1
+        return obj
+
+    def delete_object(self, obj: SimObject, node_id: int) -> None:
+        vaddr = obj.vaddr
+        node = self.cluster.node(node_id)
+        if not node.descriptors.is_resident(vaddr):
+            raise MobilityError(
+                f"cannot delete {obj!r}: not resident on node {node_id}")
+        for other in self.cluster.nodes:
+            other.descriptors.clear(vaddr)
+        self.cluster.node(obj.home_node).heap.free(vaddr)
+        self.cluster.attachments.drop(vaddr)
+        self.cluster.objects.pop(vaddr, None)
+        obj._location = None
+
+    def new_thread(self, node_id: int, name: str = "",
+                   priority: int = 0) -> SimThread:
+        thread = SimThread(self._next_tid, name, priority)
+        self._next_tid += 1
+        node = self.cluster.node(node_id)
+        vaddr = node.heap.allocate(SimThread.SIZE_BYTES)
+        thread._amber_init(vaddr, node_id, SimThread.SIZE_BYTES)
+        thread.location = node_id
+        self.cluster.objects[vaddr] = thread
+        node.descriptors.set_resident(vaddr)
+        node.stats.objects_created += 1
+        self.threads.append(thread)
+        return thread
+
+    def _trace(self, kind: str, node: int, thread: str = "",
+               vaddr=None, detail: str = "") -> None:
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now_us, kind, node, thread, vaddr, detail)
+
+    def believed_location(self, node: SimNode, vaddr: int) -> int:
+        """Where ``node`` should send a request for ``vaddr``: the
+        forwarding hint if any, else the object's home node."""
+        descriptor = node.descriptors.lookup(vaddr)
+        if descriptor is not None:
+            if descriptor.resident:
+                return node.id
+            return descriptor.forward_to
+        home = self.cluster.home_node(vaddr)
+        if home == node.id:
+            raise ObjectNotFoundError(
+                f"object {vaddr:#x} unknown at its home node {node.id}")
+        return home
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle
+    # ------------------------------------------------------------------
+
+    def start_main(self, obj: SimObject, method: str, args: Tuple,
+                   node_id: int) -> SimThread:
+        """Bootstrap: create and start the program's main thread."""
+        thread = self.new_thread(node_id, name="main")
+        self._start_thread(thread, obj, method, args, charge_to=None)
+        return thread
+
+    def _start_thread(self, thread: SimThread, target: SimObject,
+                      method: str, args: Tuple,
+                      charge_to: Optional[SimThread]) -> None:
+        thread.on_arrival = ("invoke",
+                             sc.Invoke(target, method, *args), True)
+        thread.state = ThreadState.READY
+        self._ready(thread, thread.location, self.costs.dispatch_us)
+
+    def _ready(self, thread: SimThread, node_id: int,
+               surcharge_us: float) -> None:
+        """Queue ``thread`` as runnable on ``node_id``."""
+        thread.state = ThreadState.READY
+        thread.location = node_id
+        thread.cpu = None
+        thread.surcharge_us += surcharge_us
+        node = self.cluster.node(node_id)
+        node.scheduler.enqueue(thread)
+        self._try_dispatch(node)
+
+    def _try_dispatch(self, node: SimNode) -> None:
+        while True:
+            cpu = node.idle_cpu()
+            if cpu is None or len(node.scheduler) == 0:
+                return
+            thread = node.scheduler.dequeue()
+            if thread is None:
+                return
+            self._install_on_cpu(node, cpu, thread)
+
+    def _install_on_cpu(self, node: SimNode, cpu: Cpu,
+                        thread: SimThread) -> None:
+        thread.state = ThreadState.RUNNING
+        thread.cpu = cpu.index
+        thread.location = node.id
+        thread.slice_left_us = self.costs.timeslice_us
+        cpu.thread = thread
+        surcharge = thread.surcharge_us
+        thread.surcharge_us = 0.0
+        self._charge(thread, surcharge,
+                     lambda: self._after_switch_in(thread))
+
+    def _release_cpu(self, thread: SimThread) -> None:
+        """Take ``thread`` off its CPU and hand the CPU to the scheduler."""
+        node = self.cluster.node(thread.location)
+        cpu = node.cpus[thread.cpu]
+        cpu.thread = None
+        cpu.run_event = None
+        thread.cpu = None
+        self._try_dispatch(node)
+
+    def _after_switch_in(self, thread: SimThread) -> None:
+        """Runs whenever a thread (re)gains a CPU: consume any arrival
+        action, then make the context-switch-time residency check of
+        section 3.5 before letting user code continue."""
+        node = self.cluster.node(thread.location)
+        action = thread.on_arrival
+        if action is not None and action[0] == "invoke":
+            _, request, is_root = action
+            vaddr = request.target.vaddr
+            if node.descriptors.is_resident(vaddr):
+                thread.on_arrival = None
+                self._push_and_run(thread, request, is_root)
+            else:
+                self._trap_and_migrate(thread, vaddr,
+                                       payload=request.arg_bytes)
+            return
+        if action is not None and action[0] == "deliver":
+            _, value, exc = action
+            top = thread.stack[-1]
+            if node.descriptors.is_resident(top.obj.vaddr):
+                thread.on_arrival = None
+                thread.send_value = value
+                thread.send_exc = exc
+                self._advance(thread)
+            else:
+                self._trap_and_migrate(thread, top.obj.vaddr)
+            return
+        # Plain resume: residency check against the current frame's object.
+        if thread.stack:
+            top = thread.stack[-1]
+            if not node.descriptors.is_resident(top.obj.vaddr):
+                self._trap_and_migrate(thread, top.obj.vaddr)
+                return
+        if thread.pending_compute_us > 0:
+            self._run_pending_compute(thread)
+        else:
+            self._advance(thread)
+
+    def _thread_exit(self, thread: SimThread, value: Any,
+                     exc: Optional[BaseException]) -> None:
+        def finish() -> None:
+            thread.state = ThreadState.DONE
+            thread.result = value
+            thread.exception = exc
+            self._release_cpu(thread)
+            joiners, thread.joiners = thread.joiners, []
+            for joiner in joiners:
+                joiner.send_value = value
+                joiner.send_exc = exc
+                self._ready(joiner, joiner.location, self.costs.join_us)
+
+        self._charge(thread, self.costs.thread_exit_us, finish)
+
+    # ------------------------------------------------------------------
+    # CPU charging
+    # ------------------------------------------------------------------
+
+    def _charge(self, thread: SimThread, us: float, then,
+                preemptible: bool = False) -> None:
+        """Consume ``us`` of CPU on the thread's current CPU, then continue
+        with ``then``.  The thread must be RUNNING."""
+        node = self.cluster.node(thread.location)
+        cpu = node.cpus[thread.cpu]
+        cpu.charge_started_ns = self.sim.now_ns
+        cpu.charge_us = us
+        cpu.charge_preemptible = preemptible
+        token = thread.run_token
+
+        def fire() -> None:
+            if thread.run_token != token:
+                return  # stale: the thread was preempted mid-charge
+            node.stats.cpu_busy_us += us
+            cpu.run_event = None
+            cpu.charge_preemptible = False
+            then()
+
+        cpu.run_event = self.sim.schedule_us(us, fire)
+
+    def _run_pending_compute(self, thread: SimThread) -> None:
+        """Run (part of) an outstanding Compute, honoring the timeslice."""
+        remaining = thread.pending_compute_us
+        run = min(remaining, thread.slice_left_us)
+
+        def done() -> None:
+            thread.pending_compute_us -= run
+            thread.slice_left_us -= run
+            if thread.pending_compute_us <= 1e-12:
+                thread.pending_compute_us = 0.0
+                self._advance(thread)
+                return
+            node = self.cluster.node(thread.location)
+            if len(node.scheduler) == 0:
+                # Nobody waiting: take a fresh quantum and keep going.
+                thread.slice_left_us = self.costs.timeslice_us
+                self._run_pending_compute(thread)
+            else:
+                self._preempt_for_quantum(thread)
+
+        self._charge(thread, run, done, preemptible=True)
+
+    def _preempt_for_quantum(self, thread: SimThread) -> None:
+        node = self.cluster.node(thread.location)
+        node.stats.context_switches += 1
+        thread.run_token += 1
+        self._release_cpu(thread)
+        self._ready(thread, node.id, self.costs.context_switch_us)
+
+    def _preempt_cpu(self, node: SimNode, cpu: Cpu) -> None:
+        """Move-protocol preemption of one running CPU (section 3.5): only
+        a preemptible (user-compute) charge is actually interrupted; kernel
+        protocol steps run to completion."""
+        thread = cpu.thread
+        if thread is None or not cpu.charge_preemptible:
+            return
+        if cpu.run_event is not None:
+            cpu.run_event.cancel()
+        elapsed_us = (self.sim.now_ns - cpu.charge_started_ns) / 1000
+        node.stats.cpu_busy_us += elapsed_us
+        thread.pending_compute_us = max(
+            0.0, thread.pending_compute_us - elapsed_us)
+        thread.run_token += 1
+        node.stats.preemptions += 1
+        node.stats.context_switches += 1
+        self._trace("preempt", node.id, thread.name)
+        cpu.thread = None
+        cpu.run_event = None
+        thread.cpu = None
+        self._ready(thread, node.id,
+                    self.costs.context_switch_us
+                    + self.costs.residency_check_us)
+
+    # ------------------------------------------------------------------
+    # Generator advancement and request dispatch
+    # ------------------------------------------------------------------
+
+    def _advance(self, thread: SimThread) -> None:
+        """Advance the top activation's generator by one step."""
+        activation = thread.stack[-1]
+        gen = activation.gen
+        exc = thread.send_exc
+        value = thread.send_value
+        thread.send_exc = None
+        thread.send_value = None
+        try:
+            if exc is not None:
+                request = gen.throw(exc)
+            else:
+                request = gen.send(value)
+        except StopIteration as stop:
+            self._handle_return(thread, stop.value, None)
+        except AmberError as error:
+            self._handle_return(thread, None, error)
+        except Exception as error:  # user code bug: propagate to caller
+            self._handle_return(thread, None, error)
+        else:
+            self._handle_request(thread, request)
+
+    def _handle_request(self, thread: SimThread, request: Any) -> None:
+        try:
+            handler = self._HANDLERS.get(type(request))
+            if handler is None:
+                raise InvocationError(
+                    f"operation yielded a non-request value: {request!r}")
+            handler(self, thread, request)
+        except AmberError as error:
+            # Deliver kernel-detected errors into the user generator so
+            # programs can catch them.
+            thread.send_exc = error
+            self.sim.call_now(lambda: self._advance(thread))
+
+    # --- Compute / Charge / Yield --------------------------------------
+
+    def _handle_compute(self, thread: SimThread, request: sc.Compute) -> None:
+        if request.us < 0:
+            raise InvocationError(f"negative compute time: {request.us}")
+        thread.pending_compute_us += float(request.us)
+        self._run_pending_compute(thread)
+
+    def _handle_charge(self, thread: SimThread, request: sc.Charge) -> None:
+        if request.us < 0:
+            raise InvocationError(f"negative charge: {request.us}")
+        self._charge(thread, float(request.us),
+                     lambda: self._advance(thread))
+
+    def _handle_sleep(self, thread: SimThread, request: sc.Sleep) -> None:
+        if request.us < 0:
+            raise InvocationError(f"negative sleep time: {request.us}")
+        node = self.cluster.node(thread.location)
+
+        def block() -> None:
+            thread.state = ThreadState.BLOCKED
+            thread.run_token += 1
+            self._release_cpu(thread)
+            self.sim.schedule_us(request.us, wake)
+
+        def wake() -> None:
+            if thread.state is ThreadState.BLOCKED:
+                self._ready(thread, thread.location,
+                            self.costs.dispatch_us)
+
+        self._charge(thread, self.costs.block_us, block)
+
+    def _handle_yield(self, thread: SimThread, request: sc.Yield) -> None:
+        node = self.cluster.node(thread.location)
+
+        def then() -> None:
+            if len(node.scheduler) == 0:
+                thread.slice_left_us = self.costs.timeslice_us
+                self._advance(thread)
+            else:
+                thread.run_token += 1
+                node.stats.context_switches += 1
+                self._release_cpu(thread)
+                self._ready(thread, node.id, 0.0)
+
+        self._charge(thread, self.costs.context_switch_us, then)
+
+    # --- Invocation ------------------------------------------------------
+
+    def _handle_invoke(self, thread: SimThread, request: sc.Invoke) -> None:
+        self._validate_target(request.target)
+        thread.invocations += 1
+        self._charge(thread, self.costs.local_invoke_us,
+                     lambda: self._invoke_entry(thread, request))
+
+    def _invoke_entry(self, thread: SimThread, request: sc.Invoke) -> None:
+        node = self.cluster.node(thread.location)
+        vaddr = request.target.vaddr
+        log = self.cluster.access_log.setdefault(vaddr, {})
+        log[node.id] = log.get(node.id, 0) + 1
+        if node.descriptors.is_resident(vaddr):
+            node.stats.local_invocations += 1
+            self._trace("invoke-local", node.id, thread.name, vaddr,
+                        request.method)
+            self._push_and_run(thread, request, is_root=False)
+        elif request.target.immutable:
+            self._fetch_replica(
+                thread, request.target,
+                lambda: self._push_and_run(thread, request, is_root=False))
+        else:
+            thread.remote_invocations += 1
+            node.stats.remote_invocations += 1
+            self._trace("invoke-remote", node.id, thread.name, vaddr,
+                        request.method)
+            self._trap_and_migrate(thread, vaddr, payload=request.arg_bytes,
+                                   on_arrival=("invoke", request, False))
+
+    def _handle_fast_invoke(self, thread: SimThread,
+                            request: sc.FastInvoke) -> None:
+        """Section 3.6: a call that assumes co-residency.  The kernel
+        charges only the inline-call cost, but verifies the assumption:
+        the target must be in the invoking object's attachment group (or
+        be the object itself)."""
+        self._validate_target(request.target)
+        if not thread.stack:
+            raise InvocationError(
+                "FastInvoke requires an enclosing operation")
+        current = thread.stack[-1].obj
+        target = request.target
+        group = self.cluster.attachments.group(current.vaddr)
+        if target.vaddr != current.vaddr and target.vaddr not in group:
+            raise InvocationError(
+                f"FastInvoke on {target!r}: co-residency with "
+                f"{current!r} is not guaranteed (attach them first)")
+        thread.invocations += 1
+
+        def then() -> None:
+            node = self.cluster.node(thread.location)
+            node.stats.local_invocations += 1
+            self._push_and_run(
+                thread,
+                sc.Invoke(target, request.method, *request.args,
+                          **request.kwargs),
+                is_root=False)
+
+        self._charge(thread, self.costs.inline_call_us, then)
+
+    def _push_and_run(self, thread: SimThread, request: sc.Invoke,
+                      is_root: bool) -> None:
+        target = request.target
+        context = InvocationContext(self, thread)
+        try:
+            fn = operation_of(target, request.method)
+            result = fn(context, *request.args,
+                        **getattr(request, "kwargs", {}))
+        except Exception as error:
+            self._handle_return(thread, None, error, pop=False)
+            return
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            activation = Activation(target, request.method, result)
+            activation.result_bytes = request.result_bytes
+            thread.stack.append(activation)
+            thread.send_value = None
+            self._advance(thread)
+        else:
+            # Atomic operation: completed instantly; its return still
+            # pops the (implicit) frame and pays the return-check cost.
+            self._charge(thread, self.costs.local_return_us,
+                         lambda: self._complete_return(
+                             thread, result, None,
+                             result_bytes=request.result_bytes))
+
+    def _handle_return(self, thread: SimThread, value: Any,
+                       exc: Optional[BaseException],
+                       pop: bool = True) -> None:
+        """The top operation finished (normally or exceptionally)."""
+        result_bytes = 0
+        if pop and thread.stack:
+            result_bytes = getattr(thread.stack[-1], "result_bytes", 0)
+            thread.stack.pop()
+        if not thread.stack:
+            self._thread_exit(thread, value, exc)
+            return
+        self._charge(thread, self.costs.local_return_us,
+                     lambda: self._complete_return(thread, value, exc,
+                                                   result_bytes))
+
+    def _complete_return(self, thread: SimThread, value: Any,
+                         exc: Optional[BaseException],
+                         result_bytes: int = 0) -> None:
+        """Return-time residency check: the frame has been popped; make
+        sure we are where the caller's object lives before continuing."""
+        node = self.cluster.node(thread.location)
+        top = thread.stack[-1]
+        if node.descriptors.is_resident(top.obj.vaddr):
+            thread.send_value = value
+            thread.send_exc = exc
+            self._advance(thread)
+        else:
+            self._trap_and_migrate(thread, top.obj.vaddr,
+                                   payload=result_bytes,
+                                   on_arrival=("deliver", value, exc))
+
+    def _validate_target(self, target: Any) -> None:
+        if not isinstance(target, SimObject):
+            raise InvocationError(
+                f"invocation target {target!r} is not an Amber object")
+        if getattr(target, "_location", None) is None and \
+                target.vaddr not in self.cluster.objects:
+            raise ObjectNotFoundError(f"{target!r} has been deleted")
+
+    # --- Thread requests --------------------------------------------------
+
+    def _handle_new(self, thread: SimThread, request: sc.New) -> None:
+        node_id = (thread.location if request.on_node is None
+                   else request.on_node)
+
+        def then() -> None:
+            try:
+                obj = self.create_object(request.cls, request.args,
+                                         request.kwargs, node_id,
+                                         request.size_bytes)
+            except AmberError as error:
+                thread.send_exc = error
+            else:
+                thread.send_value = obj
+            self._advance(thread)
+
+        self._charge(thread, self.costs.object_create_us(), then)
+
+    def _handle_delete(self, thread: SimThread, request: sc.Delete) -> None:
+        self._validate_target(request.target)
+
+        def then() -> None:
+            try:
+                self.delete_object(request.target, thread.location)
+            except AmberError as error:
+                thread.send_exc = error
+            self._advance(thread)
+
+        self._charge(thread, self.costs.descriptor_init_us, then)
+
+    def _handle_new_thread(self, thread: SimThread,
+                           request: sc.NewThread) -> None:
+        self._validate_target(request.target)
+
+        def then() -> None:
+            child = self.new_thread(thread.location, request.name,
+                                    request.priority)
+            child.on_arrival = (
+                "invoke",
+                sc.Invoke(request.target, request.method, *request.args),
+                True)
+            thread.send_value = child
+            self._advance(thread)
+
+        self._charge(thread, self.costs.object_create_us(), then)
+
+    def _handle_start(self, thread: SimThread, request: sc.Start) -> None:
+        child = request.thread
+        if not isinstance(child, SimThread) or \
+                child.state is not ThreadState.NEW:
+            raise InvocationError(
+                f"Start requires an unstarted thread, got {child!r}")
+
+        def then() -> None:
+            self._ready(child, child.location, self.costs.dispatch_us)
+            thread.send_value = child
+            self._advance(thread)
+
+        self._charge(thread, self.costs.thread_start_us, then)
+
+    def _handle_fork(self, thread: SimThread, request: sc.Fork) -> None:
+        self._validate_target(request.target)
+
+        def started() -> None:
+            child = self.new_thread(thread.location, request.name,
+                                    request.priority)
+            child.on_arrival = (
+                "invoke",
+                sc.Invoke(request.target, request.method, *request.args,
+                          arg_bytes=request.arg_bytes),
+                True)
+            self._ready(child, child.location, self.costs.dispatch_us)
+            thread.send_value = child
+            self._advance(thread)
+
+        self._charge(thread,
+                     self.costs.object_create_us()
+                     + self.costs.thread_start_us,
+                     started)
+
+    def _handle_join(self, thread: SimThread, request: sc.Join) -> None:
+        target = request.thread
+        if not isinstance(target, SimThread):
+            raise InvocationError(f"Join target {target!r} is not a thread")
+        if target is thread:
+            raise InvocationError("a thread cannot join itself")
+        if target.done:
+            def then() -> None:
+                thread.send_value = target.result
+                thread.send_exc = target.exception
+                self._advance(thread)
+
+            self._charge(thread, self.costs.join_us, then)
+            return
+
+        def block() -> None:
+            if target.done:
+                # The target exited while we were entering the wait.
+                thread.send_value = target.result
+                thread.send_exc = target.exception
+                self._advance(thread)
+                return
+            target.joiners.append(thread)
+            thread.state = ThreadState.BLOCKED
+            thread.run_token += 1
+            self._release_cpu(thread)
+
+        self._charge(thread, self.costs.block_us, block)
+
+    def _handle_suspend(self, thread: SimThread,
+                        request: sc.Suspend) -> None:
+        def then() -> None:
+            if thread.wakeup_pending:
+                thread.wakeup_pending = False
+                self._advance(thread)
+                return
+            thread.state = ThreadState.BLOCKED
+            thread.run_token += 1
+            self._release_cpu(thread)
+
+        self._charge(thread, self.costs.block_us, then)
+
+    def _handle_wakeup(self, thread: SimThread, request: sc.Wakeup) -> None:
+        target = request.thread
+        if not isinstance(target, SimThread):
+            raise InvocationError(f"Wakeup target {target!r} is not a thread")
+
+        def then() -> None:
+            if target.state is ThreadState.BLOCKED:
+                self._ready(target, target.location, self.costs.dispatch_us)
+            elif not target.done:
+                target.wakeup_pending = True
+            self._advance(thread)
+
+        self._charge(thread, self.costs.wakeup_us, then)
+
+    # --- Mobility ----------------------------------------------------------
+
+    def _handle_moveto(self, thread: SimThread, request: sc.MoveTo) -> None:
+        self._validate_target(request.target)
+        dest = request.node
+        self.cluster.node(dest)  # validates the node id
+        target = request.target
+        if isinstance(target, SimThread):
+            self._move_thread_object(thread, target, dest)
+            return
+        if target.immutable:
+            self._replicate(thread, target, dest,
+                            lambda: self._resume_after_move(thread))
+            return
+        node = self.cluster.node(thread.location)
+        if node.descriptors.is_resident(target.vaddr):
+            self._move_group_local(thread, node, target.vaddr, dest,
+                                   lambda: self._resume_after_move(thread))
+        else:
+            self._move_remote(thread, target.vaddr, dest)
+
+    def _resume_after_move(self, thread: SimThread) -> None:
+        """After a move completes, the mover itself may now be standing on
+        the wrong node (it was bound to the moved group)."""
+        node = self.cluster.node(thread.location)
+        if thread.stack and not node.descriptors.is_resident(
+                thread.stack[-1].obj.vaddr):
+            self._trap_and_migrate(thread, thread.stack[-1].obj.vaddr,
+                                   on_arrival=("deliver", None, None))
+        else:
+            thread.send_value = None
+            self._advance(thread)
+
+    def _move_group_local(self, mover: Optional[SimThread], node: SimNode,
+                          vaddr: int, dest: int, on_done) -> None:
+        """Execute the move protocol with the object resident on ``node``.
+
+        ``mover`` holds a CPU on ``node`` for the CPU-bound phases; a
+        ``None`` mover (move request arriving from another node) charges
+        the same costs as pure delays.
+        """
+        costs = self.costs
+        cluster = self.cluster
+        group: List[SimObject] = []
+        if dest == node.id:
+            self._after(mover, node, costs.move_setup_us, on_done)
+            return
+
+        def setup_done() -> None:
+            nonlocal group
+            if not node.descriptors.is_resident(vaddr):
+                # Lost a race with a concurrent move: the object left
+                # while we were setting up.  Chase it and run the
+                # protocol where it actually lives.
+                self._route_control(
+                    node, vaddr,
+                    lambda holder: self._move_group_local(
+                        None, holder, vaddr, dest, on_done))
+                return
+            # 1. Mark every member non-resident, leaving forwarding
+            #    addresses (before the copy, per section 3.5).  The
+            #    group is read now, under the same event as the marking.
+            group = [cluster.objects[member]
+                     for member in cluster.attachments.group(vaddr)]
+            for member in group:
+                node.descriptors.set_forwarding(member.vaddr, dest)
+                member._location = None
+            # 2. Briefly interrupt every other processor so running
+            #    threads make residency checks when rescheduled.
+            for cpu in node.cpus:
+                if mover is not None and cpu.index == mover.cpu:
+                    continue
+                self._preempt_cpu(node, cpu)
+            preempt_cost = costs.preempt_us * max(0, node.ncpus - 1)
+            marshal_cost = costs.object_marshal_us * len(group)
+            self._after(mover, node, preempt_cost + marshal_cost, transmit)
+
+        def transmit() -> None:
+            total_bytes = sum(member.size_bytes for member in group)
+            self.net.send(node.id, dest, total_bytes, arrived)
+
+        def arrived() -> None:
+            self.sim.schedule_us(costs.object_install_us * len(group),
+                                 install)
+
+        def install() -> None:
+            dest_node = cluster.node(dest)
+            for member in group:
+                dest_node.descriptors.set_resident(member.vaddr)
+                member._location = dest
+            dest_node.stats.objects_in += len(group)
+            node.stats.objects_out += len(group)
+            cluster.stats.object_moves += 1
+            self._trace("move", dest, "", vaddr,
+                        f"group of {len(group)} from node {node.id}")
+            self.net.send(dest, node.id, costs.control_bytes, acked)
+
+        def acked() -> None:
+            self._after(mover, node, costs.move_complete_us, on_done)
+
+        self._after(mover, node, costs.move_setup_us, setup_done)
+
+    def _after(self, mover: Optional[SimThread], node: SimNode,
+               us: float, then) -> None:
+        """Charge ``us`` to the mover's CPU if there is a local mover,
+        otherwise let it elapse as kernel time at ``node``."""
+        if mover is not None and mover.location == node.id and \
+                mover.cpu is not None:
+            self._charge(mover, us, then)
+        else:
+            node.stats.cpu_busy_us += us
+            self.sim.schedule_us(us, then)
+
+    def _move_remote(self, thread: SimThread, vaddr: int, dest: int) -> None:
+        """MoveTo on a non-resident object: route the request to wherever
+        the object lives and run the protocol there."""
+        origin = self.cluster.node(thread.location)
+
+        def found(holder: SimNode) -> None:
+            self._move_group_local(
+                None, holder, vaddr, dest,
+                lambda: self.net.send(holder.id, origin.id,
+                                      self.costs.control_bytes, resume))
+
+        def resume() -> None:
+            self._charge(thread, self.costs.move_complete_us,
+                         lambda: self._resume_after_move(thread))
+
+        self._charge(thread, self.costs.remote_trap_us,
+                     lambda: self._route_control(origin, vaddr, found))
+
+    def _move_thread_object(self, mover: SimThread, target: SimThread,
+                            dest: int) -> None:
+        """Moving a thread object relocates the thread itself.  Only
+        unstarted, queued, or blocked threads may be moved explicitly;
+        running threads move via the invocation mechanism."""
+        if target is mover or target.state in (ThreadState.RUNNING,
+                                               ThreadState.TRANSIT):
+            raise MobilityError(
+                f"cannot explicitly move {target!r} while it is "
+                f"{target.state.value}; threads migrate via invocation")
+        if target.done:
+            raise MobilityError(f"cannot move finished thread {target!r}")
+        costs = self.costs
+        source = self.cluster.node(target.location)
+
+        def depart() -> None:
+            was_ready = target.state is ThreadState.READY
+            if was_ready:
+                source.scheduler.remove(target)
+                target.state = ThreadState.TRANSIT
+            source.descriptors.set_forwarding(target.vaddr, dest)
+            source.stats.threads_out += 1
+            self.cluster.stats.thread_migrations += 1
+            target.migrations += 1
+
+            def arrive() -> None:
+                dest_node = self.cluster.node(dest)
+                dest_node.descriptors.set_resident(target.vaddr)
+                dest_node.stats.threads_in += 1
+                target.location = dest
+                target._location = dest
+                if was_ready:
+                    target.state = ThreadState.BLOCKED  # re-readied below
+                    self._ready(target, dest, costs.thread_recv_cpu_us())
+                # NEW threads stay NEW (Start will queue them here);
+                # BLOCKED threads stay blocked and resume here when woken.
+            self.net.send(source.id, dest,
+                          costs.thread_packet_bytes, arrive)
+            mover.send_value = None
+            self._advance(mover)
+
+        self._charge(mover, costs.thread_marshal_us, depart)
+
+    def _handle_locate(self, thread: SimThread, request: sc.Locate) -> None:
+        self._validate_target(request.target)
+        vaddr = request.target.vaddr
+        node = self.cluster.node(thread.location)
+        self.cluster.stats.locates += 1
+
+        def local_check() -> None:
+            if node.descriptors.is_resident(vaddr):
+                thread.send_value = node.id
+                self._advance(thread)
+                return
+            self._route_control(node, vaddr, found)
+
+        def found(holder: SimNode) -> None:
+            self.net.send(holder.id, node.id, self.costs.control_bytes,
+                          lambda: deliver(holder.id))
+
+        def deliver(where: int) -> None:
+            thread.send_value = where
+            self._advance(thread)
+
+        self._charge(thread, self.costs.local_invoke_us, local_check)
+
+    def _handle_attach(self, thread: SimThread, request: sc.Attach) -> None:
+        self._validate_target(request.target)
+        self._validate_target(request.to)
+        node = self.cluster.node(thread.location)
+        a, b = request.target, request.to
+        if a.immutable or b.immutable:
+            raise AttachmentError(
+                "immutable (replicated) objects cannot be attached")
+        if not (node.descriptors.is_resident(a.vaddr)
+                and node.descriptors.is_resident(b.vaddr)):
+            raise AttachmentError(
+                "Attach requires both objects resident on the current node "
+                f"(node {node.id}): {a!r}, {b!r}")
+
+        def then() -> None:
+            try:
+                self.cluster.attachments.attach(a.vaddr, b.vaddr)
+            except AmberError as error:
+                thread.send_exc = error
+            self._advance(thread)
+
+        self._charge(thread, self.costs.descriptor_init_us, then)
+
+    def _handle_unattach(self, thread: SimThread,
+                         request: sc.Unattach) -> None:
+        self._validate_target(request.target)
+
+        def then() -> None:
+            try:
+                self.cluster.attachments.unattach(request.target.vaddr)
+            except AmberError as error:
+                thread.send_exc = error
+            self._advance(thread)
+
+        self._charge(thread, self.costs.descriptor_init_us, then)
+
+    def _handle_set_immutable(self, thread: SimThread,
+                              request: sc.SetImmutable) -> None:
+        self._validate_target(request.target)
+        target = request.target
+
+        def then() -> None:
+            if isinstance(target, SimThread):
+                thread.send_exc = MobilityError(
+                    "threads cannot be marked immutable")
+            elif self.cluster.attachments.is_attached(target.vaddr) or \
+                    target.vaddr in self.cluster.attachments.members():
+                thread.send_exc = MobilityError(
+                    "detach objects before marking them immutable")
+            else:
+                target._immutable = True
+                target._replica_nodes = {target._location}
+            self._advance(thread)
+
+        self._charge(thread, self.costs.descriptor_init_us, then)
+
+    def _handle_refresh(self, thread: SimThread, request: sc.Refresh) -> None:
+        self._validate_target(request.target)
+        target = request.target
+        node = self.cluster.node(thread.location)
+        if not target.immutable:
+            raise MobilityError(f"Refresh requires an immutable object, "
+                                f"got {target!r}")
+        if node.descriptors.is_resident(target.vaddr):
+            self._charge(thread, self.costs.residency_check_us,
+                         lambda: self._resume_none(thread))
+            return
+        self._fetch_replica(thread, target,
+                            lambda: self._resume_none(thread))
+
+    def _resume_none(self, thread: SimThread) -> None:
+        thread.send_value = None
+        self._advance(thread)
+
+    def _replicate(self, thread: SimThread, target: SimObject, dest: int,
+                   on_done) -> None:
+        """Copy an immutable object to ``dest`` (MoveTo-on-immutable)."""
+        costs = self.costs
+        cluster = self.cluster
+        dest_node = cluster.node(dest)
+        if dest_node.descriptors.is_resident(target.vaddr):
+            self._charge(thread, costs.residency_check_us, on_done)
+            return
+        source = min(target._replica_nodes)
+
+        def request_sent() -> None:
+            self.net.send(thread.location, source, costs.control_bytes,
+                          marshal)
+
+        def marshal() -> None:
+            self.sim.schedule_us(costs.object_marshal_us, transfer)
+
+        def transfer() -> None:
+            self.net.send(source, dest, target.size_bytes, install)
+
+        def install() -> None:
+            self.sim.schedule_us(costs.object_install_us, installed)
+
+        def installed() -> None:
+            dest_node.descriptors.set_resident(target.vaddr)
+            target._replica_nodes.add(dest)
+            dest_node.stats.replicas_installed += 1
+            cluster.stats.replications += 1
+            self._trace("replicate", dest, "", target.vaddr,
+                        f"from node {source}")
+            if dest == thread.location:
+                # The replica landed right here: no acknowledgement needed.
+                self._charge(thread, 0.0, on_done)
+            else:
+                self.net.send(dest, thread.location, costs.control_bytes,
+                              lambda: self._charge(thread, 0.0, on_done))
+
+        if source == thread.location:
+            # We hold a replica: marshal here and ship it.
+            self._charge(thread, costs.object_marshal_us, transfer)
+        else:
+            self._charge(thread, costs.remote_trap_us, request_sent)
+
+    def _fetch_replica(self, thread: SimThread, target: SimObject,
+                       on_done) -> None:
+        """Install a local replica of an immutable object, then continue."""
+        self._replicate(thread, target, thread.location, on_done)
+
+    # --- Scheduling control -------------------------------------------------
+
+    def _handle_set_scheduler(self, thread: SimThread,
+                              request: sc.SetScheduler) -> None:
+        node = self.cluster.node(request.node)
+
+        def then() -> None:
+            node.set_scheduler(request.scheduler)
+            thread.send_value = None
+            self._advance(thread)
+            self._try_dispatch(node)
+
+        self._charge(thread, self.costs.descriptor_init_us, then)
+
+    def _handle_get_stats(self, thread: SimThread,
+                          request: sc.GetStats) -> None:
+        thread.send_value = self.cluster.stats
+        self.sim.call_now(lambda: self._advance(thread))
+
+    # ------------------------------------------------------------------
+    # Thread migration (function shipping)
+    # ------------------------------------------------------------------
+
+    def _trap_and_migrate(self, thread: SimThread, target_vaddr: int,
+                          payload: int = 0, on_arrival=None) -> None:
+        """The residency check failed: trap to the kernel and move the
+        thread toward the target object."""
+        if on_arrival is not None:
+            thread.on_arrival = on_arrival
+        costs = self.costs
+        node = self.cluster.node(thread.location)
+
+        def depart() -> None:
+            node.stats.threads_out += 1
+            self.cluster.stats.thread_migrations += 1
+            thread.migrations += 1
+            self._trace("migrate-out", node.id, thread.name, target_vaddr)
+            thread.state = ThreadState.TRANSIT
+            thread.run_token += 1
+            thread.transit_target = target_vaddr
+            thread.transit_path = [node.id]
+            believed = self.believed_location(node, target_vaddr)
+            self._release_cpu(thread)
+            thread.location = None
+            self._send_thread(thread, node.id, believed, payload)
+
+        self._charge(thread, costs.thread_send_cpu_us(), depart)
+
+    def _send_thread(self, thread: SimThread, src: int, dst: int,
+                     payload: int) -> None:
+        nbytes = self.costs.thread_packet_bytes + payload
+        self.net.send(src, dst, nbytes,
+                      lambda: self._thread_arrival(thread, dst, payload))
+
+    def _thread_arrival(self, thread: SimThread, node_id: int,
+                        payload: int) -> None:
+        node = self.cluster.node(node_id)
+        thread.transit_path.append(node_id)
+        vaddr = thread.transit_target
+        if len(thread.transit_path) > MAX_CHASE_HOPS:
+            raise ObjectNotFoundError(
+                f"thread {thread.name} chased object {vaddr:#x} for more "
+                f"than {MAX_CHASE_HOPS} hops")
+        if node.descriptors.is_resident(vaddr):
+            # Found it: cache the location along the path we took.
+            for visited in thread.transit_path[:-1]:
+                self.cluster.node(visited).descriptors.update_hint(
+                    vaddr, node_id)
+            # The thread object itself now resides here.
+            self._relocate_thread_object(thread, node_id)
+            node.stats.threads_in += 1
+            self._trace("migrate-in", node_id, thread.name, vaddr)
+            thread.transit_target = None
+            thread.transit_path = []
+            self._ready(thread, node_id, self.costs.thread_recv_cpu_us())
+            return
+        # Not here: follow the chain one more hop.
+        node.stats.forward_hops += 1
+        self.cluster.stats.forwarding_hops_followed += 1
+        next_node = self.believed_location(node, vaddr)
+        self.sim.schedule_us(
+            self.costs.forward_hop_us,
+            lambda: self._send_thread(thread, node_id, next_node, payload))
+
+    def _relocate_thread_object(self, thread: SimThread,
+                                node_id: int) -> None:
+        """Keep the thread object's descriptors consistent as it moves."""
+        previous = thread._location
+        if previous is not None and previous != node_id:
+            self.cluster.node(previous).descriptors.set_forwarding(
+                thread.vaddr, node_id)
+        self.cluster.node(node_id).descriptors.set_resident(thread.vaddr)
+        thread._location = node_id
+
+    # ------------------------------------------------------------------
+    # Control-message routing (locate / remote move requests)
+    # ------------------------------------------------------------------
+
+    def _route_control(self, origin, vaddr: int, on_found,
+                       _path: Optional[List[int]] = None) -> None:
+        """Send a control message chasing ``vaddr``; call ``on_found`` with
+        the holder node.  Charges wire time per hop plus forwarding cost at
+        intermediate nodes, and compresses the path when found."""
+        path = _path if _path is not None else [origin.id]
+        next_node = self.believed_location(origin, vaddr)
+        if len(path) > MAX_CHASE_HOPS:
+            raise ObjectNotFoundError(
+                f"control message chased {vaddr:#x} beyond hop limit")
+
+        def delivered() -> None:
+            node = self.cluster.node(next_node)
+            path.append(next_node)
+            if node.descriptors.is_resident(vaddr):
+                for visited in path[:-1]:
+                    self.cluster.node(visited).descriptors.update_hint(
+                        vaddr, next_node)
+                on_found(node)
+                return
+            node.stats.forward_hops += 1
+            self.cluster.stats.forwarding_hops_followed += 1
+            self.sim.schedule_us(
+                self.costs.forward_hop_us,
+                lambda: self._route_control(node, vaddr, on_found, path))
+
+        self.net.send(origin.id, next_node, self.costs.control_bytes,
+                      delivered)
+
+    # ------------------------------------------------------------------
+
+    _HANDLERS = {
+        sc.Compute: _handle_compute,
+        sc.Charge: _handle_charge,
+        sc.Yield: _handle_yield,
+        sc.Sleep: _handle_sleep,
+        sc.Invoke: _handle_invoke,
+        sc.FastInvoke: _handle_fast_invoke,
+        sc.New: _handle_new,
+        sc.Delete: _handle_delete,
+        sc.NewThread: _handle_new_thread,
+        sc.Start: _handle_start,
+        sc.Fork: _handle_fork,
+        sc.Join: _handle_join,
+        sc.Suspend: _handle_suspend,
+        sc.Wakeup: _handle_wakeup,
+        sc.MoveTo: _handle_moveto,
+        sc.Locate: _handle_locate,
+        sc.Attach: _handle_attach,
+        sc.Unattach: _handle_unattach,
+        sc.SetImmutable: _handle_set_immutable,
+        sc.Refresh: _handle_refresh,
+        sc.SetScheduler: _handle_set_scheduler,
+        sc.GetStats: _handle_get_stats,
+    }

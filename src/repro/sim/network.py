@@ -1,0 +1,71 @@
+"""A shared-medium Ethernet model (10 Mbit/s by default, via the cost model).
+
+The paper's eight Fireflies share one 10 Mbit/s Ethernet, so transmission
+time — ``bytes * per_byte_us`` — serializes across the whole cluster, while
+the fixed per-message latency (controller + protocol software at both ends)
+overlaps freely.  That contention matters: the SOR edge-exchange and barrier
+storms compete for the wire exactly as they did on the real segment.
+
+``contended=False`` turns the medium into independent point-to-point links
+(useful for isolating protocol costs in tests and ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.costs import CostModel
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    bytes: int = 0
+    #: Total wire occupancy (transmission time), microseconds.
+    busy_us: float = 0.0
+    #: Total time messages spent queued behind other transmissions.
+    queueing_us: float = 0.0
+
+    def utilization(self, elapsed_us: float) -> float:
+        return self.busy_us / elapsed_us if elapsed_us > 0 else 0.0
+
+
+class Ethernet:
+    """Delivers messages after queueing + transmission + fixed latency."""
+
+    def __init__(self, sim: Simulator, costs: CostModel,
+                 contended: bool = True):
+        self._sim = sim
+        self._costs = costs
+        self.contended = contended
+        self._busy_until_ns = 0
+        self.stats = NetworkStats()
+
+    def send(self, src: int, dst: int, nbytes: int,
+             deliver: Callable[[], None]) -> None:
+        """Transmit ``nbytes`` from ``src`` to ``dst``; call ``deliver`` at
+        the delivery time.  ``src``/``dst`` are node ids (kept for stats and
+        future topology models; the shared medium ignores them)."""
+        sim = self._sim
+        costs = self._costs
+        occupancy_us = nbytes * costs.per_byte_us
+        occupancy_ns = round(occupancy_us * 1000)
+        if self.contended:
+            start_ns = max(sim.now_ns, self._busy_until_ns)
+            self._busy_until_ns = start_ns + occupancy_ns
+            self.stats.queueing_us += (start_ns - sim.now_ns) / 1000
+            end_ns = self._busy_until_ns
+        else:
+            start_ns = sim.now_ns
+            end_ns = start_ns + occupancy_ns
+        self.stats.messages += 1
+        self.stats.bytes += nbytes
+        self.stats.busy_us += occupancy_us
+        delivery_ns = end_ns + round(costs.net_latency_us * 1000)
+        sim.schedule_at_ns(delivery_ns, deliver)
+
+    def uncontended_wire_us(self, nbytes: int) -> float:
+        """Delivery time for one message on an idle wire (for predictions)."""
+        return self._costs.wire_us(nbytes)

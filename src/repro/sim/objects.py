@@ -1,0 +1,92 @@
+"""Simulated Amber objects.
+
+Every piece of data a simulated program shares between threads is a
+:class:`SimObject`: a passive entity with private state and public
+operations, referenced by a virtual address that means the same thing on
+every node (section 3.1).  Operations are ordinary methods — generator
+methods may yield kernel requests (see :mod:`repro.sim.syscalls`);
+non-generator methods execute atomically.
+
+Objects are created with the ``New`` request, never by calling the class
+directly, so the kernel can assign the virtual address, charge the creation
+cost, and install the resident descriptor (section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class SimObject:
+    """Base class for all simulated Amber objects.
+
+    Subclasses declare their nominal size (heap footprint and transfer
+    size) with the ``SIZE_BYTES`` class attribute or per-instance via
+    ``New(..., size_bytes=...)``.
+
+    Kernel-managed fields (all underscore-prefixed) are installed when the
+    object is created through ``New``:
+
+    ``_vaddr``
+        The object's global virtual address (also its identity).
+    ``_home_node``
+        The node whose heap region contains ``_vaddr``.
+    ``_location``
+        Authoritative current residence.  *Semantics never read this* — the
+        kernel routes through descriptors and forwarding chains — but it
+        anchors internal assertions and statistics.
+    ``_immutable``
+        Set by ``SetImmutable``; enables replication.
+    """
+
+    #: Default nominal object size in bytes (descriptor + representation).
+    SIZE_BYTES = 256
+
+    _vaddr: int
+    _home_node: int
+    _location: Optional[int]
+    _size_bytes: int
+    _immutable: bool
+
+    @property
+    def vaddr(self) -> int:
+        """The object's global virtual address."""
+        return self._vaddr
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    @property
+    def immutable(self) -> bool:
+        return self._immutable
+
+    @property
+    def home_node(self) -> int:
+        return self._home_node
+
+    def _amber_init(self, vaddr: int, home_node: int, size_bytes: int) -> None:
+        """Called by the kernel when the object is created."""
+        self._vaddr = vaddr
+        self._home_node = home_node
+        self._location = home_node
+        self._size_bytes = size_bytes
+        self._immutable = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        vaddr = getattr(self, "_vaddr", None)
+        where = getattr(self, "_location", "?")
+        tag = f"{vaddr:#x}" if isinstance(vaddr, int) else "unregistered"
+        return f"<{type(self).__name__} {tag} @node {where}>"
+
+
+def operation_of(obj: SimObject, method: str) -> Any:
+    """Fetch the bound operation ``method`` of ``obj``, raising a clean
+    error for unknown names (used by the kernel's invocation path)."""
+    from repro.errors import InvocationError
+
+    fn = getattr(obj, method, None)
+    if fn is None or not callable(fn):
+        raise InvocationError(
+            f"{type(obj).__name__} has no operation {method!r}")
+    return fn

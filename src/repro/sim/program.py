@@ -1,0 +1,121 @@
+"""Program harness: run a main operation on a simulated cluster.
+
+Usage::
+
+    from repro.sim import AmberProgram, ClusterConfig, New, Invoke, MoveTo
+
+    def main(ctx):
+        counter = yield New(Counter)
+        yield MoveTo(counter, 1)
+        total = yield Invoke(counter, "add", 5)
+        return total
+
+    result = AmberProgram(ClusterConfig(nodes=2, cpus_per_node=4)).run(main)
+    print(result.value, result.elapsed_us, result.stats.as_dict())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.costs import CostModel
+from repro.errors import DeadlockError
+from repro.sim.cluster import ClusterConfig, SimCluster
+from repro.sim.kernel import AmberKernel
+from repro.sim.objects import SimObject
+from repro.sim.stats import ClusterStats
+from repro.sim.thread import SimThread, ThreadState
+
+
+class _MainObject(SimObject):
+    """The object the program's main thread is bound to.  It anchors the
+    main thread to its starting node exactly as a real Amber main object
+    would: remote invocations return the thread here."""
+
+    SIZE_BYTES = 256
+
+    def __init__(self, fn, args):
+        self._fn = fn
+        self._args = args
+
+    def run(self, ctx):
+        result = self._fn(ctx, *self._args)
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            result = yield from result
+        return result
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of a simulated run."""
+
+    value: Any
+    #: Simulated time at which the final event completed, microseconds.
+    elapsed_us: float
+    stats: ClusterStats
+    cluster: SimCluster
+    #: Threads that never terminated (blocked forever after main exited).
+    stranded: List[SimThread]
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_us / 1e6
+
+
+class AmberProgram:
+    """Builds a cluster and runs one program on it to completion."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 costs: Optional[CostModel] = None):
+        self.config = config or ClusterConfig()
+        self.costs = costs
+
+    def run(self, main_fn, *args, main_node: int = 0,
+            until_us: Optional[float] = None,
+            tracer=None) -> ProgramResult:
+        """Run ``main_fn(ctx, *args)`` as the main thread on ``main_node``.
+
+        ``tracer`` (a :class:`repro.sim.trace.Tracer`) receives kernel
+        events.  Raises the main thread's exception if it failed, and
+        :class:`DeadlockError` if the simulation ran out of events with the
+        main thread still alive.
+        """
+        cluster = SimCluster(self.config, self.costs)
+        cluster.tracer = tracer
+        kernel = AmberKernel(cluster)
+        main_obj = kernel.create_object(_MainObject, (main_fn, args), {},
+                                        main_node, None)
+        main_thread = kernel.start_main(main_obj, "run", (), main_node)
+        cluster.sim.run(until_us)
+        if main_thread.state is not ThreadState.DONE:
+            raise DeadlockError(_describe_stall(kernel, main_thread))
+        if main_thread.exception is not None:
+            raise main_thread.exception
+        stranded = [thread for thread in kernel.threads
+                    if thread.state is not ThreadState.DONE]
+        return ProgramResult(main_thread.result, cluster.sim.now_us,
+                             cluster.stats, cluster, stranded)
+
+
+def run_program(main_fn, *args, nodes: int = 1, cpus_per_node: int = 4,
+                costs: Optional[CostModel] = None,
+                contended_network: bool = True) -> ProgramResult:
+    """One-call convenience wrapper around :class:`AmberProgram`."""
+    config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node,
+                           contended_network=contended_network)
+    return AmberProgram(config, costs).run(main_fn, *args)
+
+
+def _describe_stall(kernel: AmberKernel, main_thread: SimThread) -> str:
+    lines = ["simulation stalled before the main thread finished:"]
+    for thread in kernel.threads:
+        if thread.state is ThreadState.DONE:
+            continue
+        frame = (f"{type(thread.stack[-1].obj).__name__}."
+                 f"{thread.stack[-1].method}" if thread.stack else "-")
+        lines.append(f"  {thread.name}: {thread.state.value} "
+                     f"@node {thread.location}, in {frame}")
+    if main_thread.state is ThreadState.BLOCKED:
+        lines.append("  (likely deadlock: every runnable thread is waiting)")
+    return "\n".join(lines)

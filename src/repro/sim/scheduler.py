@@ -1,0 +1,129 @@
+"""Per-node thread schedulers.
+
+The paper (section 2.1, after Presto) lets an application replace a node's
+scheduler object at runtime with any object supporting the same interface.
+:class:`Scheduler` is that interface; three disciplines are provided, and
+programs may subclass their own and install them with the ``SetScheduler``
+request (see ``examples/custom_scheduler.py``).
+
+Schedulers order *runnable* threads only.  Timeslicing is enforced by the
+kernel (quantum from the cost model); the scheduler is consulted at dispatch
+and preemption points.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.sim.thread import SimThread
+
+
+class Scheduler:
+    """Interface for a node's ready queue."""
+
+    def enqueue(self, thread: SimThread) -> None:
+        raise NotImplementedError
+
+    def dequeue(self) -> Optional[SimThread]:
+        """Remove and return the next thread to run, or None if empty."""
+        raise NotImplementedError
+
+    def remove(self, thread: SimThread) -> bool:
+        """Withdraw a specific thread (e.g. it is being migrated away while
+        queued).  Returns True if it was present."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def drain(self) -> List[SimThread]:
+        """Remove all queued threads (used when the scheduler is replaced)."""
+        threads = []
+        while True:
+            thread = self.dequeue()
+            if thread is None:
+                return threads
+            threads.append(thread)
+
+
+class FifoScheduler(Scheduler):
+    """Round-robin FIFO — the default, matching Presto's base discipline."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[SimThread] = deque()
+
+    def enqueue(self, thread: SimThread) -> None:
+        self._queue.append(thread)
+
+    def dequeue(self) -> Optional[SimThread]:
+        return self._queue.popleft() if self._queue else None
+
+    def remove(self, thread: SimThread) -> bool:
+        try:
+            self._queue.remove(thread)
+            return True
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LifoScheduler(Scheduler):
+    """Last-in first-out — favors cache-warm threads; an example of the
+    adaptive policies the paper alludes to."""
+
+    def __init__(self) -> None:
+        self._stack: List[SimThread] = []
+
+    def enqueue(self, thread: SimThread) -> None:
+        self._stack.append(thread)
+
+    def dequeue(self) -> Optional[SimThread]:
+        return self._stack.pop() if self._stack else None
+
+    def remove(self, thread: SimThread) -> bool:
+        try:
+            self._stack.remove(thread)
+            return True
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class PriorityScheduler(Scheduler):
+    """Highest ``thread.priority`` first; FIFO among equals."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, SimThread]] = []
+        self._seq = 0
+        self._removed: set = set()
+
+    def enqueue(self, thread: SimThread) -> None:
+        self._removed.discard(id(thread))
+        heapq.heappush(self._heap, (-thread.priority, self._seq, thread))
+        self._seq += 1
+
+    def dequeue(self) -> Optional[SimThread]:
+        while self._heap:
+            _, _, thread = heapq.heappop(self._heap)
+            if id(thread) in self._removed:
+                self._removed.discard(id(thread))
+                continue
+            return thread
+        return None
+
+    def remove(self, thread: SimThread) -> bool:
+        if any(entry[2] is thread and id(thread) not in self._removed
+               for entry in self._heap):
+            self._removed.add(id(thread))
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap
+                   if id(entry[2]) not in self._removed)

@@ -1,0 +1,78 @@
+"""Instrumentation for simulated runs.
+
+Every kernel action increments counters here; benchmarks and tests read them
+to verify communication behaviour (message counts, migrations, utilization)
+rather than just end-to-end time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class NodeStats:
+    node: int
+    cpus: int
+    #: Total CPU busy time across the node's processors, microseconds.
+    cpu_busy_us: float = 0.0
+    local_invocations: int = 0
+    remote_invocations: int = 0      # traps taken on this node (outbound)
+    threads_in: int = 0              # migrated threads accepted
+    threads_out: int = 0
+    objects_created: int = 0
+    objects_in: int = 0              # objects moved here
+    objects_out: int = 0
+    replicas_installed: int = 0
+    preemptions: int = 0             # move-protocol CPU preemptions
+    context_switches: int = 0
+    forward_hops: int = 0            # misdelivered requests forwarded on
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Mean busy fraction of this node's CPUs over ``elapsed_us``."""
+        if elapsed_us <= 0:
+            return 0.0
+        return self.cpu_busy_us / (elapsed_us * self.cpus)
+
+
+@dataclass
+class ClusterStats:
+    nodes: List[NodeStats] = field(default_factory=list)
+    object_moves: int = 0            # group moves completed
+    replications: int = 0            # immutable copies made
+    locates: int = 0
+    thread_migrations: int = 0       # one-way thread transfers
+    forwarding_hops_followed: int = 0
+
+    def node(self, node_id: int) -> NodeStats:
+        return self.nodes[node_id]
+
+    @property
+    def total_local_invocations(self) -> int:
+        return sum(n.local_invocations for n in self.nodes)
+
+    @property
+    def total_remote_invocations(self) -> int:
+        return sum(n.remote_invocations for n in self.nodes)
+
+    @property
+    def total_cpu_busy_us(self) -> float:
+        return sum(n.cpu_busy_us for n in self.nodes)
+
+    def mean_utilization(self, elapsed_us: float) -> float:
+        total_cpus = sum(n.cpus for n in self.nodes)
+        if elapsed_us <= 0 or total_cpus == 0:
+            return 0.0
+        return self.total_cpu_busy_us / (elapsed_us * total_cpus)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary, convenient for benchmark reporting."""
+        return {
+            "local_invocations": self.total_local_invocations,
+            "remote_invocations": self.total_remote_invocations,
+            "thread_migrations": self.thread_migrations,
+            "object_moves": self.object_moves,
+            "replications": self.replications,
+            "forwarding_hops": self.forwarding_hops_followed,
+        }

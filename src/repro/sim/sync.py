@@ -1,0 +1,287 @@
+"""Synchronization objects (paper section 2.2).
+
+Amber supplies "relinquishing and non-relinquishing locks, barrier
+synchronization, monitors and condition variables" as classes in the object
+hierarchy.  Because they are ordinary objects, they are **mobile and can be
+remotely invoked**: a thread acquiring a lock that lives on another node
+simply migrates there, which is precisely the function-shipping behaviour
+section 4.1 contrasts with a DSM system thrashing on a shared lock page.
+
+All operations here are generator operations invoked via ``Invoke``:
+
+    lock = yield New(Lock)
+    yield Invoke(lock, "acquire")
+    ...                                  # critical section
+    yield Invoke(lock, "release")
+
+A thread blocked inside ``acquire`` is suspended *at the lock's node*; if
+the lock is moved meanwhile, the waiter migrates to the lock's new home the
+next time it is scheduled (the context-switch-time residency check of
+section 3.5).
+
+Programmers extend these classes for custom concurrency control — see
+``ReaderWriterLock`` below for an example built purely from the public
+machinery, as the paper intends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import SynchronizationError
+from repro.sim.objects import SimObject
+from repro.sim.syscalls import Charge, Compute, Invoke, Suspend, Wakeup
+from repro.sim.thread import SimThread
+
+#: Nominal CPU cost of a lock/barrier bookkeeping step, microseconds.
+SYNC_OP_US = 5.0
+#: CPU burned per spin iteration of a non-relinquishing lock.
+SPIN_STEP_US = 2.0
+
+
+class Lock(SimObject):
+    """A relinquishing (blocking) mutual-exclusion lock."""
+
+    SIZE_BYTES = 64
+
+    def __init__(self) -> None:
+        self._held = False
+        self._owner: Optional[SimThread] = None
+        self._waiters: Deque[SimThread] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self, ctx):
+        yield Charge(SYNC_OP_US)
+        contended = False
+        while self._held:
+            contended = True
+            self._waiters.append(ctx.thread)
+            yield Suspend("lock")
+        self._held = True
+        self._owner = ctx.thread
+        self.acquisitions += 1
+        if contended:
+            self.contended_acquisitions += 1
+
+    def release(self, ctx):
+        yield Charge(SYNC_OP_US)
+        if not self._held or self._owner is not ctx.thread:
+            raise SynchronizationError(
+                f"release of lock {self.vaddr:#x} by non-owner "
+                f"{ctx.thread.name}")
+        self._held = False
+        self._owner = None
+        if self._waiters:
+            yield Wakeup(self._waiters.popleft())
+
+    def try_acquire(self, ctx):
+        """Non-blocking attempt; returns True on success.  Atomic."""
+        if self._held:
+            return False
+        self._held = True
+        self._owner = ctx.thread
+        self.acquisitions += 1
+        return True
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+
+class SpinLock(SimObject):
+    """A non-relinquishing lock: waiters burn CPU instead of blocking.
+
+    The paper argues these are worthwhile *within* a multiprocessor node,
+    where "hardware-based spinlocks ... reduce latency": no suspend/wakeup
+    round trip, at the price of occupied processors.  The spin step is a
+    preemptible compute so a uniprocessor node cannot livelock — the
+    timeslice eventually lets the holder run.
+    """
+
+    SIZE_BYTES = 64
+
+    def __init__(self) -> None:
+        self._held = False
+        self._owner: Optional[SimThread] = None
+        self.acquisitions = 0
+        self.spin_us = 0.0
+
+    def acquire(self, ctx):
+        yield Charge(SYNC_OP_US)
+        while self._held:
+            self.spin_us += SPIN_STEP_US
+            yield Compute(SPIN_STEP_US)
+        self._held = True
+        self._owner = ctx.thread
+        self.acquisitions += 1
+
+    def release(self, ctx):
+        yield Charge(SYNC_OP_US)
+        if not self._held or self._owner is not ctx.thread:
+            raise SynchronizationError(
+                f"release of spinlock {self.vaddr:#x} by non-owner "
+                f"{ctx.thread.name}")
+        self._held = False
+        self._owner = None
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+
+class Barrier(SimObject):
+    """N-party barrier.  ``wait`` returns True for exactly one thread per
+    cycle (the last to arrive), mirroring the convergence-master handoff in
+    the SOR program."""
+
+    SIZE_BYTES = 64
+
+    def __init__(self, parties: int) -> None:
+        if parties < 1:
+            raise SynchronizationError(
+                f"barrier needs >=1 party, got {parties}")
+        self.parties = parties
+        self._count = 0
+        self._generation = 0
+        self._waiting: List[SimThread] = []
+        self.cycles = 0
+
+    def wait(self, ctx):
+        yield Charge(SYNC_OP_US)
+        generation = self._generation
+        self._count += 1
+        if self._count == self.parties:
+            self._count = 0
+            self._generation += 1
+            self.cycles += 1
+            waiting, self._waiting = self._waiting, []
+            for thread in waiting:
+                yield Wakeup(thread)
+            return True
+        self._waiting.append(ctx.thread)
+        while self._generation == generation:
+            yield Suspend("barrier")
+        return False
+
+
+class Monitor(SimObject):
+    """A monitor lock with Mesa semantics, paired with :class:`CondVar`.
+
+    Protect an object's state by making a Monitor (or Lock) a *member* of
+    that object and attaching them, as section 3.6 recommends for
+    co-residency.
+    """
+
+    SIZE_BYTES = 64
+
+    def __init__(self) -> None:
+        self._held = False
+        self._owner: Optional[SimThread] = None
+        self._waiters: Deque[SimThread] = deque()
+        self.entries = 0
+
+    def enter(self, ctx):
+        yield Charge(SYNC_OP_US)
+        while self._held:
+            self._waiters.append(ctx.thread)
+            yield Suspend("monitor")
+        self._held = True
+        self._owner = ctx.thread
+        self.entries += 1
+
+    def exit(self, ctx):
+        yield Charge(SYNC_OP_US)
+        if not self._held or self._owner is not ctx.thread:
+            raise SynchronizationError(
+                f"exit of monitor {self.vaddr:#x} by non-owner "
+                f"{ctx.thread.name}")
+        self._held = False
+        self._owner = None
+        if self._waiters:
+            yield Wakeup(self._waiters.popleft())
+
+    def holds(self, thread: SimThread) -> bool:
+        return self._held and self._owner is thread
+
+
+class CondVar(SimObject):
+    """Condition variable bound to a :class:`Monitor` (Mesa semantics:
+    ``wait`` reacquires the monitor before returning, so conditions must be
+    re-checked in a loop).  Create it on the monitor's node and ``Attach``
+    it so they stay co-located."""
+
+    SIZE_BYTES = 64
+
+    def __init__(self, monitor: Monitor) -> None:
+        self.monitor = monitor
+        self._waiting: Deque[SimThread] = deque()
+
+    def wait(self, ctx):
+        yield Charge(SYNC_OP_US)
+        if not self.monitor.holds(ctx.thread):
+            raise SynchronizationError(
+                "CondVar.wait without holding the monitor")
+        self._waiting.append(ctx.thread)
+        yield Invoke(self.monitor, "exit")
+        yield Suspend("condvar")
+        yield Invoke(self.monitor, "enter")
+
+    def signal(self, ctx):
+        yield Charge(SYNC_OP_US)
+        if self._waiting:
+            yield Wakeup(self._waiting.popleft())
+
+    def broadcast(self, ctx):
+        yield Charge(SYNC_OP_US)
+        waiting, self._waiting = list(self._waiting), deque()
+        for thread in waiting:
+            yield Wakeup(thread)
+
+
+class ReaderWriterLock(SimObject):
+    """Many-readers / one-writer lock, built from the primitives above the
+    way the paper expects applications to extend the hierarchy."""
+
+    SIZE_BYTES = 64
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._writer: Optional[SimThread] = None
+        self._waiters: Deque[SimThread] = deque()
+
+    def acquire_read(self, ctx):
+        yield Charge(SYNC_OP_US)
+        while self._writer is not None:
+            self._waiters.append(ctx.thread)
+            yield Suspend("rwlock-read")
+        self._readers += 1
+
+    def release_read(self, ctx):
+        yield Charge(SYNC_OP_US)
+        if self._readers <= 0:
+            raise SynchronizationError("release_read without readers")
+        self._readers -= 1
+        if self._readers == 0:
+            for thread in self._drain():
+                yield Wakeup(thread)
+
+    def acquire_write(self, ctx):
+        yield Charge(SYNC_OP_US)
+        while self._writer is not None or self._readers > 0:
+            self._waiters.append(ctx.thread)
+            yield Suspend("rwlock-write")
+        self._writer = ctx.thread
+
+    def release_write(self, ctx):
+        yield Charge(SYNC_OP_US)
+        if self._writer is not ctx.thread:
+            raise SynchronizationError("release_write by non-writer")
+        self._writer = None
+        for thread in self._drain():
+            yield Wakeup(thread)
+
+    def _drain(self) -> List[SimThread]:
+        waiting, self._waiters = list(self._waiters), deque()
+        return waiting

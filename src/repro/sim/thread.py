@@ -1,0 +1,121 @@
+"""Simulated Amber threads.
+
+Threads are the active entities: objects that possess processor state and a
+runtime stack and can execute on a CPU (section 1).  Here the "stack" is a
+list of :class:`Activation` records, each holding the generator of one
+executing operation and the object it is bound to.  A thread is *bound* to
+every object on its activation stack — the set the mobility code must
+consider when one of those objects moves (section 3.5).
+
+Being objects, threads live in the global address space, can be joined from
+anywhere, and migrate between nodes — either because they invoked a remote
+object (function shipping) or because an object they are bound to moved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from repro.sim.objects import SimObject
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"             # created, not started
+    READY = "ready"         # runnable, queued at a node
+    RUNNING = "running"     # on a CPU
+    BLOCKED = "blocked"     # suspended (sync object, join, ...)
+    TRANSIT = "transit"     # migrating between nodes
+    DONE = "done"           # terminated
+
+
+@dataclass
+class Activation:
+    """One frame of a thread's stack: an operation executing on an object.
+
+    ``gen`` is ``None`` for atomic (non-generator) operations, which never
+    suspend mid-body.  ``result_bytes`` is the declared size of the return
+    value, charged as migration payload if the return crosses nodes.
+    """
+
+    obj: SimObject
+    method: str
+    gen: Optional[Generator[Any, Any, Any]]
+    result_bytes: int = 0
+
+
+class SimThread(SimObject):
+    """A simulated thread of control.
+
+    All scheduling fields are kernel-private; programs interact with threads
+    only through the ``Fork``/``NewThread``/``Start``/``Join`` requests and
+    through the statistics snapshot.
+    """
+
+    SIZE_BYTES = 1000   # one network packet, per the Table 1 benchmark note
+
+    def __init__(self, tid: int, name: str = "", priority: int = 0):
+        self.tid = tid
+        self.name = name or f"thread-{tid}"
+        self.priority = priority
+        self.state = ThreadState.NEW
+        #: Node the thread currently occupies (None while in transit).
+        self.location: Optional[int] = None
+        self.stack: List[Activation] = []
+
+        # --- generator resumption -------------------------------------
+        #: Value / exception to deliver at the next generator advance.
+        self.send_value: Any = None
+        self.send_exc: Optional[BaseException] = None
+
+        # --- scheduling -------------------------------------------------
+        #: CPU time to charge before the thread's next instruction
+        #: (unmarshal/dispatch after migration, context switch after
+        #: preemption, join completion after wakeup...).
+        self.surcharge_us: float = 0.0
+        #: Remaining compute of a Compute request split by preemption.
+        self.pending_compute_us: float = 0.0
+        #: Remaining timeslice.
+        self.slice_left_us: float = 0.0
+        #: CPU currently running the thread (index within its node).
+        self.cpu: Optional[int] = None
+        #: Invalidates in-flight run events after a preemption.
+        self.run_token: int = 0
+        #: Pending Wakeup that arrived before the Suspend completed.
+        self.wakeup_pending: bool = False
+
+        # --- migration --------------------------------------------------
+        #: While TRANSIT: (target vaddr, visited path) for chain following.
+        self.transit_target: Optional[int] = None
+        self.transit_path: List[int] = []
+        #: What to do on arrival; set by the kernel.
+        self.on_arrival: Any = None
+
+        # --- termination --------------------------------------------------
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.joiners: List["SimThread"] = []
+
+        # --- per-thread statistics ---------------------------------------
+        self.migrations: int = 0
+        self.invocations: int = 0
+        self.remote_invocations: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state is ThreadState.DONE
+
+    def bound_objects(self) -> List[SimObject]:
+        """Objects this thread is currently executing within (innermost
+        last) — the bound set of section 3.5."""
+        return [activation.obj for activation in self.stack]
+
+    def is_bound_to(self, vaddrs: set) -> bool:
+        """True if any activation on the stack targets one of ``vaddrs``."""
+        return any(activation.obj.vaddr in vaddrs
+                   for activation in self.stack)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimThread {self.name} tid={self.tid} "
+                f"{self.state.value} @node {self.location}>")

@@ -1,0 +1,102 @@
+"""Execution tracing for simulated runs.
+
+Attach a :class:`Tracer` to a cluster before running and the kernel emits
+an event for every interesting transition: invocations (local/remote),
+thread migrations (departure and arrival), object moves, replica
+installs, and move-protocol preemptions.  Traces explain *why* a run
+spent its time — which threads bounced between which nodes, which objects
+were migration magnets — and feed the text renderings below.
+
+Usage::
+
+    program = AmberProgram(config)
+    tracer = Tracer()
+    result = program.run(main, tracer=tracer)
+    print(render_log(tracer.events[:40]))
+    print(render_migration_matrix(tracer, nodes=config.nodes))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel transition."""
+
+    t_us: float
+    kind: str            # invoke-local | invoke-remote | migrate-out |
+    #                      migrate-in | move | replicate | preempt
+    node: int            # where it happened
+    thread: str = ""     # thread name, if any
+    vaddr: Optional[int] = None
+    detail: str = ""
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records; bounded to protect memory on
+    long runs (the newest events win; ``dropped`` counts the rest)."""
+
+    def __init__(self, max_events: int = 100_000):
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, t_us: float, kind: str, node: int, thread: str = "",
+             vaddr: Optional[int] = None, detail: str = "") -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            self.events.pop(0)
+        self.events.append(TraceEvent(t_us, kind, node, thread, vaddr,
+                                      detail))
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def migrations(self) -> List[Tuple[str, int, int]]:
+        """(thread, src, dst) per completed migration, in order."""
+        pending: Dict[str, int] = {}
+        moves: List[Tuple[str, int, int]] = []
+        for event in self.events:
+            if event.kind == "migrate-out":
+                pending[event.thread] = event.node
+            elif event.kind == "migrate-in" and event.thread in pending:
+                moves.append((event.thread, pending.pop(event.thread),
+                              event.node))
+        return moves
+
+
+def render_log(events: List[TraceEvent], limit: int = 50) -> str:
+    """A readable event log (first ``limit`` events)."""
+    lines = [f"{'time (us)':>12}  {'node':>4}  {'kind':<14} "
+             f"{'thread':<14} detail"]
+    for event in events[:limit]:
+        obj = f" obj={event.vaddr:#x}" if event.vaddr is not None else ""
+        lines.append(f"{event.t_us:12.1f}  {event.node:>4}  "
+                     f"{event.kind:<14} {event.thread:<14} "
+                     f"{event.detail}{obj}")
+    if len(events) > limit:
+        lines.append(f"... {len(events) - limit} more events")
+    return "\n".join(lines)
+
+
+def render_migration_matrix(tracer: Tracer, nodes: int) -> str:
+    """src x dst counts of thread migrations — the communication shape of
+    the program at a glance."""
+    matrix = [[0] * nodes for _ in range(nodes)]
+    for _, src, dst in tracer.migrations():
+        if 0 <= src < nodes and 0 <= dst < nodes:
+            matrix[src][dst] += 1
+    width = max(5, len(str(max(max(row) for row in matrix) if nodes
+                           else 0)) + 2)
+    header = "src\\dst" + "".join(f"{d:>{width}}" for d in range(nodes))
+    lines = [header]
+    for src in range(nodes):
+        lines.append(f"{src:>7}" + "".join(
+            f"{matrix[src][dst]:>{width}}" for dst in range(nodes)))
+    return "\n".join(lines)

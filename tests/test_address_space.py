@@ -1,0 +1,220 @@
+"""Tests for the global virtual address space (paper section 3.1-3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address_space import (
+    ALLOC_ALIGN,
+    DEFAULT_REGION_BYTES,
+    AddressSpaceServer,
+    NodeHeap,
+    Region,
+    RegionMap,
+)
+from repro.errors import (
+    AddressExhaustedError,
+    AddressSpaceError,
+    HeapError,
+)
+
+
+class TestRegion:
+    def test_contains_boundaries(self):
+        region = Region(base=0x1000, size=0x100, owner_node=3)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x0FFF)
+        assert not region.contains(0x1100)
+
+    def test_limit(self):
+        assert Region(0x1000, 0x100, 0).limit == 0x1100
+
+
+class TestAddressSpaceServer:
+    def test_grants_are_disjoint_and_ordered(self):
+        server = AddressSpaceServer(region_bytes=4096)
+        regions = [server.grant_region(node) for node in (0, 1, 0, 2)]
+        for earlier, later in zip(regions, regions[1:]):
+            assert earlier.limit <= later.base
+
+    def test_home_node_derivation(self):
+        server = AddressSpaceServer(region_bytes=4096)
+        r0 = server.grant_region(0)
+        r1 = server.grant_region(1)
+        assert server.home_node(r0.base) == 0
+        assert server.home_node(r0.limit - 1) == 0
+        assert server.home_node(r1.base) == 1
+
+    def test_ungranted_address_rejected(self):
+        server = AddressSpaceServer(region_bytes=4096)
+        server.grant_region(0)
+        with pytest.raises(AddressSpaceError):
+            server.region_for(1)  # below the heap base
+
+    def test_exhaustion(self):
+        server = AddressSpaceServer(region_bytes=4096, base=0,
+                                    limit=3 * 4096)
+        for _ in range(3):
+            server.grant_region(0)
+        with pytest.raises(AddressExhaustedError):
+            server.grant_region(0)
+
+    def test_bad_region_size_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            AddressSpaceServer(region_bytes=0)
+        with pytest.raises(AddressSpaceError):
+            AddressSpaceServer(region_bytes=100)  # not aligned
+
+    def test_grants_recorded_per_node(self):
+        server = AddressSpaceServer(region_bytes=4096)
+        server.grant_region(2)
+        server.grant_region(2)
+        server.grant_region(5)
+        assert len(server.grants[2]) == 2
+        assert len(server.grants[5]) == 1
+
+    def test_default_region_is_one_megabyte(self):
+        # "the regions are large enough (currently 1M bytes)"
+        assert DEFAULT_REGION_BYTES == 1 << 20
+        assert AddressSpaceServer().region_bytes == 1 << 20
+
+
+class TestRegionMap:
+    def test_lookup_hit_and_miss(self):
+        rmap = RegionMap()
+        region = Region(0x1000, 0x100, 7)
+        rmap.add(region)
+        assert rmap.lookup(0x1080) == region
+        assert rmap.lookup(0x2000) is None
+
+    def test_conflicting_grant_detected(self):
+        rmap = RegionMap()
+        rmap.add(Region(0x1000, 0x100, 7))
+        with pytest.raises(AddressSpaceError):
+            rmap.add(Region(0x1000, 0x100, 8))
+
+    def test_re_add_same_grant_is_idempotent(self):
+        rmap = RegionMap()
+        region = Region(0x1000, 0x100, 7)
+        rmap.add(region)
+        rmap.add(region)
+        assert len(rmap) == 1
+
+
+class TestNodeHeap:
+    def make_heap(self, node=0, region_bytes=4096):
+        server = AddressSpaceServer(region_bytes=region_bytes)
+        return NodeHeap(node, server), server
+
+    def test_allocations_disjoint(self):
+        heap, _ = self.make_heap()
+        a = heap.allocate(100)
+        b = heap.allocate(100)
+        assert abs(a - b) >= 112  # rounded to 16
+
+    def test_alignment(self):
+        heap, _ = self.make_heap()
+        for size in (1, 15, 16, 17, 100):
+            assert heap.allocate(size) % ALLOC_ALIGN == 0
+
+    def test_free_and_reuse_whole_block(self):
+        """Section 3.2: blocks are reused only at their original size."""
+        heap, _ = self.make_heap()
+        a = heap.allocate(128)
+        heap.free(a)
+        # A smaller allocation must NOT split the freed 128-byte block.
+        small = heap.allocate(16)
+        assert small != a
+        # Same-size allocation reuses it whole.
+        again = heap.allocate(128)
+        assert again == a
+
+    def test_double_free_rejected(self):
+        heap, _ = self.make_heap()
+        a = heap.allocate(64)
+        heap.free(a)
+        with pytest.raises(HeapError):
+            heap.free(a)
+
+    def test_free_unknown_rejected(self):
+        heap, _ = self.make_heap()
+        with pytest.raises(HeapError):
+            heap.free(0xDEAD0)
+
+    def test_zero_or_negative_size_rejected(self):
+        heap, _ = self.make_heap()
+        with pytest.raises(HeapError):
+            heap.allocate(0)
+        with pytest.raises(HeapError):
+            heap.allocate(-4)
+
+    def test_oversized_allocation_rejected(self):
+        heap, _ = self.make_heap(region_bytes=4096)
+        with pytest.raises(HeapError):
+            heap.allocate(8192)
+
+    def test_region_extension(self):
+        """Exhausting the initial pool requests a new region from the
+        address-space server (section 3.1)."""
+        heap, server = self.make_heap(region_bytes=256)
+        addresses = [heap.allocate(64) for _ in range(8)]
+        assert heap.regions_requested == 2
+        assert len({server.home_node(address) for address in addresses}) == 1
+
+    def test_on_grant_callback(self):
+        server = AddressSpaceServer(region_bytes=256)
+        seen = []
+        heap = NodeHeap(3, server, on_grant=seen.append)
+        heap.allocate(64)
+        assert len(seen) == 1
+        assert seen[0].owner_node == 3
+
+    def test_two_nodes_never_collide(self):
+        server = AddressSpaceServer(region_bytes=256)
+        heap_a = NodeHeap(0, server)
+        heap_b = NodeHeap(1, server)
+        addresses = set()
+        for _ in range(20):
+            for heap in (heap_a, heap_b):
+                address = heap.allocate(48)
+                assert address not in addresses
+                addresses.add(address)
+
+    def test_bytes_allocated_accounting(self):
+        heap, _ = self.make_heap()
+        a = heap.allocate(100)  # rounds to 112
+        assert heap.bytes_allocated == 112
+        heap.free(a)
+        assert heap.bytes_allocated == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=2048)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=40)),
+    ),
+    max_size=80,
+))
+def test_heap_invariants_hold_under_random_workload(ops):
+    """Property: live blocks never overlap, every address is aligned, and
+    freed blocks are only ever reused at their original size."""
+    server = AddressSpaceServer(region_bytes=4096)
+    heap = NodeHeap(0, server)
+    live = {}  # address -> requested size
+    for op, arg in ops:
+        if op == "alloc":
+            address = heap.allocate(arg)
+            assert address % ALLOC_ALIGN == 0
+            assert address not in live
+            live[address] = arg
+        elif live:
+            keys = sorted(live)
+            address = keys[arg % len(keys)]
+            heap.free(address)
+            del live[address]
+    # No two live blocks overlap.
+    spans = sorted((address, heap.block_size(address)) for address in live)
+    for (a, size_a), (b, _) in zip(spans, spans[1:]):
+        assert a + size_a <= b

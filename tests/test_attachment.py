@@ -1,0 +1,127 @@
+"""Tests for attachment groups (paper section 2.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attachment import AttachmentGraph
+from repro.errors import AttachmentError
+
+
+class TestAttachmentGraph:
+    def test_singleton_group(self):
+        graph = AttachmentGraph()
+        assert graph.group(1) == [1]
+        assert not graph.is_attached(1)
+
+    def test_attach_makes_one_group(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        assert set(graph.group(1)) == {1, 2}
+        assert set(graph.group(2)) == {1, 2}
+
+    def test_group_is_transitive_closure(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        graph.attach(3, 2)
+        graph.attach(4, 3)
+        for member in (1, 2, 3, 4):
+            assert set(graph.group(member)) == {1, 2, 3, 4}
+
+    def test_group_starts_with_queried_object(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        assert graph.group(2)[0] == 2
+
+    def test_self_attach_rejected(self):
+        graph = AttachmentGraph()
+        with pytest.raises(AttachmentError):
+            graph.attach(1, 1)
+
+    def test_attach_is_idempotent(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        graph.attach(1, 2)
+        graph.unattach(1)
+        assert graph.group(1) == [1]
+
+    def test_unattach_severs_only_own_edges(self):
+        """Unattach(a) severs a's outgoing attachments, not edges others
+        made to a."""
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        graph.attach(3, 1)
+        graph.unattach(1)
+        assert set(graph.group(1)) == {1, 3}   # 3 -> 1 survives
+        assert graph.group(2) == [2]
+
+    def test_unattach_unattached_rejected(self):
+        graph = AttachmentGraph()
+        with pytest.raises(AttachmentError):
+            graph.unattach(9)
+
+    def test_is_attached_directional(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        assert graph.is_attached(1)
+        assert not graph.is_attached(2)   # 2 made no attachment
+
+    def test_attachments_of(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        graph.attach(1, 3)
+        assert graph.attachments_of(1) == {2, 3}
+        assert graph.attachments_of(2) == set()
+
+    def test_drop_removes_all_edges(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        graph.attach(3, 1)
+        graph.drop(1)
+        assert graph.group(2) == [2]
+        assert graph.group(3) == [3]
+        assert graph.members() == set()
+
+    def test_members(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        graph.attach(4, 5)
+        assert graph.members() == {1, 2, 4, 5}
+
+    def test_mutual_attachment_allowed(self):
+        graph = AttachmentGraph()
+        graph.attach(1, 2)
+        graph.attach(2, 1)
+        assert set(graph.group(1)) == {1, 2}
+        graph.unattach(1)
+        # 2 -> 1 still holds them together.
+        assert set(graph.group(1)) == {1, 2}
+        graph.unattach(2)
+        assert graph.group(1) == [1]
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["attach", "unattach"]),
+              st.integers(min_value=0, max_value=9),
+              st.integers(min_value=0, max_value=9)),
+    max_size=40,
+))
+def test_groups_partition_objects(ops):
+    """Property: group() induces a partition — symmetric and transitive —
+    after any sequence of attach/unattach operations."""
+    graph = AttachmentGraph()
+    for op, a, b in ops:
+        try:
+            if op == "attach":
+                graph.attach(a, b)
+            else:
+                graph.unattach(a)
+        except AttachmentError:
+            pass
+    for x in range(10):
+        group_x = graph.group(x)
+        assert x in group_x
+        assert len(group_x) == len(set(group_x))
+        for y in group_x:
+            assert set(graph.group(y)) == set(group_x)

@@ -1,0 +1,83 @@
+"""Tests for the benchmark harness itself: reporting, paper data, and the
+cheap drivers (the heavy sweeps are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.figure1 import run_figure1
+from repro.bench.figure2 import FIGURE2_CONFIGS
+from repro.bench.figure3 import FIGURE3_GRIDS, PAPER_GRID
+from repro.bench.reporting import render_series, render_table
+from repro.bench.table1 import run_table1
+
+
+class TestReporting:
+    def test_render_table_aligns_columns(self):
+        out = render_table(["Name", "Value"],
+                           [("alpha", 1.0), ("b", 123456.789)],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # All rows the same width structure.
+        assert lines[3].startswith("alpha")
+        assert "123,457" in lines[4]
+
+    def test_render_table_empty_rows(self):
+        out = render_table(["A"], [])
+        assert "A" in out
+
+    def test_render_series_bars_scale(self):
+        out = render_series([("x", 1.0), ("y", 2.0)], "k", "v")
+        lines = out.splitlines()          # [header, row x, row y]
+        bar_x = lines[1].count("#")
+        bar_y = lines[2].count("#")
+        assert bar_y == 2 * bar_x
+
+    def test_render_series_zero_safe(self):
+        out = render_series([("x", 0.0)], "k", "v")
+        assert "x" in out
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [(0.00123,), (12.3456,), (9999.5,)])
+        assert "0.001" in out
+        assert "12.35" in out
+        assert "9,999" in out or "9,999.5" in out or "10,000" in out
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        assert set(paper_data.PAPER_TABLE1_MS) == {
+            "object create", "local invoke/return",
+            "remote invoke/return", "object move", "thread start/join"}
+
+    def test_figure2_has_headline(self):
+        assert paper_data.PAPER_FIGURE2_SPEEDUPS["8Nx4P"] == 25.0
+
+    def test_figure2_covers_every_config(self):
+        labels = {f"{n}Nx{c}P" for n, c in FIGURE2_CONFIGS}
+        assert labels <= set(paper_data.PAPER_FIGURE2_SPEEDUPS)
+
+    def test_figure3_paper_grid_in_sweep(self):
+        assert PAPER_GRID in FIGURE3_GRIDS
+        assert 122 * 842 in paper_data.PAPER_FIGURE3_POINTS
+
+
+class TestDrivers:
+    def test_table1_rows(self):
+        rows = run_table1()
+        assert len(rows) == 5
+        for row in rows:
+            assert row.measured_ms == pytest.approx(row.paper_ms, rel=0.01)
+            assert row.ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_figure1_structure(self):
+        structure = run_figure1(sections=3, nodes=3)
+        assert len(structure.sections) == 3
+        assert structure.total_threads == sum(
+            s.workers + s.edge_threads + s.convergers
+            for s in structure.sections)
+        text = structure.describe()
+        assert "master object @ node 0" in text
+        assert "section 2 @ node 2" in text

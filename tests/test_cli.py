@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "remote invoke/return" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "master object" in out
+
+    def test_figure3_fast(self, capsys):
+        assert main(["figure3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "(X)" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])
+
+    def test_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            main([])

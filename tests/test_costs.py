@@ -1,0 +1,116 @@
+"""Tests for the cost model's Table 1 calibration (paper section 5)."""
+
+import pytest
+
+from repro.core.costs import CostModel
+
+PAPER_TABLE_1_US = {
+    "object create": 180.0,
+    "local invoke/return": 12.0,
+    "remote invoke/return": 8320.0,
+    "object move": 12430.0,
+    "thread start/join": 1330.0,
+}
+
+
+class TestFireflyCalibration:
+    """The analytic predictions must land exactly on Table 1; the
+    microbenchmark in benchmarks/test_table1_latencies.py confirms the
+    simulator charges the same numbers end to end."""
+
+    def setup_method(self):
+        self.costs = CostModel.firefly()
+
+    def test_object_create(self):
+        assert self.costs.object_create_us() == \
+            PAPER_TABLE_1_US["object create"]
+
+    def test_local_invoke_return(self):
+        total = self.costs.local_invoke_us + self.costs.local_return_us
+        assert total == PAPER_TABLE_1_US["local invoke/return"]
+
+    def test_remote_invoke_return(self):
+        assert self.costs.remote_invoke_return_us() == \
+            pytest.approx(PAPER_TABLE_1_US["remote invoke/return"])
+
+    def test_object_move(self):
+        # Table 1 conditions: the object fits in one packet (1000 bytes
+        # here), four CPUs per node.
+        assert self.costs.object_move_us(1000, source_cpus=4) == \
+            pytest.approx(PAPER_TABLE_1_US["object move"])
+
+    def test_thread_start_join(self):
+        assert self.costs.thread_start_join_us() == \
+            pytest.approx(PAPER_TABLE_1_US["thread start/join"])
+
+    def test_wire_rate_is_10_mbit(self):
+        # 0.8 us/byte == 1.25 MB/s == 10 Mbit/s Ethernet.
+        assert self.costs.per_byte_us == pytest.approx(0.8)
+
+    def test_remote_is_orders_of_magnitude_dearer_than_local(self):
+        """Section 1.1: remote references are "three to four orders of
+        magnitude more expensive" than local ones."""
+        ratio = (self.costs.remote_invoke_return_us()
+                 / (self.costs.local_invoke_us + self.costs.local_return_us))
+        assert 100 <= ratio <= 10_000
+        assert ratio == pytest.approx(8320 / 12)
+
+    def test_move_cost_grows_with_cpus(self):
+        """Section 3.5: "the need to preempt all running threads causes the
+        cost of mobility to increase as processors are added"."""
+        one = self.costs.object_move_us(1000, source_cpus=1)
+        four = self.costs.object_move_us(1000, source_cpus=4)
+        eight = self.costs.object_move_us(1000, source_cpus=8)
+        assert one < four < eight
+        assert four - one == pytest.approx(3 * self.costs.preempt_us)
+
+    def test_move_cost_grows_with_size(self):
+        small = self.costs.object_move_us(100, source_cpus=4)
+        big = self.costs.object_move_us(10_000, source_cpus=4)
+        assert big - small == pytest.approx(9_900 * self.costs.per_byte_us)
+
+    def test_payload_increases_remote_invoke(self):
+        empty = self.costs.remote_invoke_return_us(0)
+        loaded = self.costs.remote_invoke_return_us(4096)
+        assert loaded - empty == pytest.approx(4096 * self.costs.per_byte_us)
+
+
+class TestCostModelMechanics:
+    def test_replace_produces_new_model(self):
+        base = CostModel.firefly()
+        fast = base.replace(per_byte_us=0.08)
+        assert fast.per_byte_us == pytest.approx(0.08)
+        assert base.per_byte_us == pytest.approx(0.8)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel.firefly().per_byte_us = 1.0
+
+    def test_free_model_is_zero_cost(self):
+        free = CostModel.free()
+        assert free.remote_invoke_return_us() == 0
+        assert free.object_move_us(1000, 4) == 0
+        assert free.timeslice_us == float("inf")
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(local_invoke_us=-1.0)
+        with pytest.raises(ValueError):
+            CostModel.firefly().replace(per_byte_us=-0.1)
+
+    def test_zero_byte_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(page_bytes=0)
+        with pytest.raises(ValueError):
+            CostModel(thread_packet_bytes=0)
+
+    def test_zero_timeslice_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(timeslice_us=0.0)
+
+    def test_page_transfer_composition(self):
+        costs = CostModel.firefly()
+        expected = (costs.page_fault_us + costs.wire_us(costs.control_bytes)
+                    + costs.manager_us + costs.page_pack_us
+                    + costs.wire_us(costs.page_bytes) + costs.page_install_us)
+        assert costs.page_transfer_us() == pytest.approx(expected)

@@ -1,0 +1,81 @@
+"""Tests for object descriptors (paper section 3.2)."""
+
+import pytest
+
+from repro.core.descriptor import Descriptor, DescriptorState, DescriptorTable
+from repro.errors import DescriptorError
+
+
+class TestDescriptorTable:
+    def test_missing_entry_means_uninitialized(self):
+        """A missing entry is the zero-filled page of section 3.2: the
+        object is remote, location unknown."""
+        table = DescriptorTable(0)
+        assert table.lookup(0x1000) is None
+        assert not table.is_resident(0x1000)
+
+    def test_set_resident(self):
+        table = DescriptorTable(0)
+        table.set_resident(0x1000)
+        assert table.is_resident(0x1000)
+        descriptor = table.lookup(0x1000)
+        assert descriptor.state is DescriptorState.RESIDENT
+
+    def test_forwarding_address(self):
+        table = DescriptorTable(0)
+        table.set_resident(0x1000)
+        table.set_forwarding(0x1000, 3)
+        assert not table.is_resident(0x1000)
+        assert table.lookup(0x1000).forward_to == 3
+
+    def test_forwarding_to_self_rejected(self):
+        table = DescriptorTable(2)
+        with pytest.raises(DescriptorError):
+            table.set_forwarding(0x1000, 2)
+
+    def test_hint_never_downgrades_resident(self):
+        """Path-compression hints are advisory; they must not clobber a
+        RESIDENT descriptor (the object really is here)."""
+        table = DescriptorTable(0)
+        table.set_resident(0x1000)
+        table.update_hint(0x1000, 5)
+        assert table.is_resident(0x1000)
+
+    def test_hint_updates_stale_forwarding(self):
+        table = DescriptorTable(0)
+        table.set_forwarding(0x1000, 1)
+        table.update_hint(0x1000, 4)
+        assert table.lookup(0x1000).forward_to == 4
+
+    def test_hint_to_self_ignored(self):
+        table = DescriptorTable(2)
+        table.set_forwarding(0x1000, 1)
+        table.update_hint(0x1000, 2)
+        assert table.lookup(0x1000).forward_to == 1
+
+    def test_hint_installs_on_uninitialized(self):
+        table = DescriptorTable(0)
+        table.update_hint(0x1000, 4)
+        assert table.lookup(0x1000).forward_to == 4
+
+    def test_clear_returns_to_uninitialized(self):
+        table = DescriptorTable(0)
+        table.set_resident(0x1000)
+        table.clear(0x1000)
+        assert table.lookup(0x1000) is None
+        # Clearing twice is harmless (page already zero-filled).
+        table.clear(0x1000)
+
+    def test_len_and_contains(self):
+        table = DescriptorTable(0)
+        table.set_resident(0x1000)
+        table.set_forwarding(0x2000, 1)
+        assert len(table) == 2
+        assert 0x1000 in table
+        assert 0x3000 not in table
+
+
+class TestDescriptor:
+    def test_resident_property(self):
+        assert Descriptor(DescriptorState.RESIDENT).resident
+        assert not Descriptor(DescriptorState.FORWARDED, 1).resident

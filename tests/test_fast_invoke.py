@@ -1,0 +1,150 @@
+"""Tests for FastInvoke, the section 3.6 co-residency optimization."""
+
+import pytest
+
+from repro.errors import InvocationError
+from repro.sim.objects import SimObject
+from repro.sim.syscalls import (
+    Attach,
+    Charge,
+    FastInvoke,
+    Invoke,
+    MoveTo,
+    New,
+    Unattach,
+)
+from tests.helpers import Cell, run, run_free
+
+
+class Holder(SimObject):
+    """An object with a member-style lock it calls through FastInvoke."""
+
+    def __init__(self, member):
+        self.member = member
+
+    def fast_get(self, ctx):
+        value = yield FastInvoke(self.member, "get")
+        return value
+
+    def fast_set(self, ctx, value):
+        yield FastInvoke(self.member, "set", value)
+
+    def slow_get(self, ctx):
+        return (yield Invoke(self.member, "get"))
+
+    def self_call(self, ctx):
+        return (yield FastInvoke(self, "slow_get"))
+
+    def timed_pair(self, ctx, rounds):
+        t0 = ctx.now_us
+        for _ in range(rounds):
+            yield Invoke(self.member, "get")
+        normal = ctx.now_us - t0
+        t0 = ctx.now_us
+        for _ in range(rounds):
+            yield FastInvoke(self.member, "get")
+        fast = ctx.now_us - t0
+        return normal, fast
+
+
+def make_pair(attach=True):
+    def main(ctx):
+        member = yield New(Cell, 7)
+        holder = yield New(Holder, member)
+        if attach:
+            yield Attach(member, holder)
+        return holder, member
+
+    return main
+
+
+class TestFastInvoke:
+    def test_attached_member_fast_call(self):
+        def main(ctx):
+            member = yield New(Cell, 7)
+            holder = yield New(Holder, member)
+            yield Attach(member, holder)
+            return (yield Invoke(holder, "fast_get"))
+
+        assert run_free(main).value == 7
+
+    def test_fast_call_mutates(self):
+        def main(ctx):
+            member = yield New(Cell)
+            holder = yield New(Holder, member)
+            yield Attach(member, holder)
+            yield Invoke(holder, "fast_set", 42)
+            return (yield Invoke(member, "get"))
+
+        assert run_free(main).value == 42
+
+    def test_unattached_target_rejected(self):
+        """Without the co-residency guarantee the kernel refuses — the
+        disciplined version of 3.6's "incorrect program behavior"."""
+        def main(ctx):
+            member = yield New(Cell, 7)
+            holder = yield New(Holder, member)
+            try:
+                yield Invoke(holder, "fast_get")
+            except InvocationError:
+                return "rejected"
+
+        assert run_free(main).value == "rejected"
+
+    def test_guarantee_revoked_by_unattach(self):
+        def main(ctx):
+            member = yield New(Cell, 7)
+            holder = yield New(Holder, member)
+            yield Attach(member, holder)
+            yield Invoke(holder, "fast_get")     # fine
+            yield Unattach(member)
+            try:
+                yield Invoke(holder, "fast_get")
+            except InvocationError:
+                return "revoked"
+
+        assert run_free(main).value == "revoked"
+
+    def test_self_fast_invoke_allowed(self):
+        def main(ctx):
+            member = yield New(Cell, 5)
+            holder = yield New(Holder, member)
+            return (yield Invoke(holder, "self_call"))
+
+        assert run_free(main).value == 5
+
+    def test_fast_invoke_outside_operation_rejected(self):
+        def main(ctx):
+            member = yield New(Cell)
+            try:
+                # Main's root frame is an operation on the main object,
+                # which is not attached to member.
+                yield FastInvoke(member, "get")
+            except InvocationError:
+                return "rejected"
+
+        assert run_free(main).value == "rejected"
+
+    def test_fast_is_cheaper_than_checked_invoke(self):
+        def main(ctx):
+            member = yield New(Cell, 1)
+            holder = yield New(Holder, member)
+            yield Attach(member, holder)
+            return (yield Invoke(holder, "timed_pair", 50))
+
+        normal, fast = run(main).value
+        # Normal pays local_invoke + local_return (12 us) per call;
+        # fast pays inline_call_us (1 us) plus the same return cost.
+        assert fast < normal * 0.5
+
+    def test_group_moves_keep_fast_calls_valid(self):
+        """The attachment guarantee survives moves: the pair migrates
+        together, so FastInvoke works wherever they land."""
+        def main(ctx):
+            member = yield New(Cell, 3)
+            holder = yield New(Holder, member)
+            yield Attach(member, holder)
+            yield MoveTo(holder, 1)
+            return (yield Invoke(holder, "fast_get"))
+
+        assert run_free(main).value == 3

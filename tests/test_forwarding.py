@@ -1,0 +1,128 @@
+"""Tests for forwarding-chain resolution (paper section 3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descriptor import DescriptorTable
+from repro.core.forwarding import compress_path, resolve
+from repro.errors import ObjectNotFoundError
+
+OBJ = 0x4000
+
+
+def make_tables(n):
+    return {node: DescriptorTable(node) for node in range(n)}
+
+
+class TestResolve:
+    def test_resident_locally_is_zero_hops(self):
+        tables = make_tables(2)
+        tables[0].set_resident(OBJ)
+        route = resolve(OBJ, 0, tables, home_node=lambda a: 0)
+        assert route.hops == 0
+        assert route.destination == 0
+
+    def test_follow_single_forward(self):
+        tables = make_tables(3)
+        tables[0].set_forwarding(OBJ, 2)
+        tables[2].set_resident(OBJ)
+        route = resolve(OBJ, 0, tables, home_node=lambda a: 0)
+        assert route.path == [0, 2]
+        assert route.hops == 1
+        assert not route.via_home
+
+    def test_follow_chain_of_moves(self):
+        """Object created on 0, moved 0->1->2->3: a request from node 0
+        walks the whole chain."""
+        tables = make_tables(4)
+        tables[0].set_forwarding(OBJ, 1)
+        tables[1].set_forwarding(OBJ, 2)
+        tables[2].set_forwarding(OBJ, 3)
+        tables[3].set_resident(OBJ)
+        route = resolve(OBJ, 0, tables, home_node=lambda a: 0)
+        assert route.path == [0, 1, 2, 3]
+
+    def test_uninitialized_descriptor_routes_via_home(self):
+        """A node that has never seen the object asks the home node,
+        derived from the address (section 3.3)."""
+        tables = make_tables(3)
+        tables[1].set_resident(OBJ)   # created on 1 (its home), still there
+        route = resolve(OBJ, 2, tables, home_node=lambda a: 1)
+        assert route.via_home
+        assert route.path == [2, 1]
+
+    def test_home_then_chain(self):
+        tables = make_tables(4)
+        tables[1].set_forwarding(OBJ, 3)   # home knows it left
+        tables[3].set_resident(OBJ)
+        route = resolve(OBJ, 0, tables, home_node=lambda a: 1)
+        assert route.path == [0, 1, 3]
+        assert route.via_home
+
+    def test_unknown_at_home_raises(self):
+        tables = make_tables(2)
+        with pytest.raises(ObjectNotFoundError):
+            resolve(OBJ, 0, tables, home_node=lambda a: 0)
+
+    def test_cycle_detected(self):
+        tables = make_tables(2)
+        tables[0].set_forwarding(OBJ, 1)
+        tables[1].set_forwarding(OBJ, 0)
+        with pytest.raises(ObjectNotFoundError):
+            resolve(OBJ, 0, tables, home_node=lambda a: 0)
+
+
+class TestCompressPath:
+    def test_caches_location_along_path(self):
+        """"the object's last known location is cached on all nodes along
+        the chain so that the object can be located quickly"."""
+        tables = make_tables(4)
+        tables[0].set_forwarding(OBJ, 1)
+        tables[1].set_forwarding(OBJ, 2)
+        tables[2].set_forwarding(OBJ, 3)
+        tables[3].set_resident(OBJ)
+        route = resolve(OBJ, 0, tables, home_node=lambda a: 0)
+        compress_path(route, OBJ, tables)
+        # Every node on the path now points straight at node 3.
+        second = resolve(OBJ, 0, tables, home_node=lambda a: 0)
+        assert second.path == [0, 3]
+        assert resolve(OBJ, 1, tables, home_node=lambda a: 0).path == [1, 3]
+
+    def test_compression_never_touches_destination(self):
+        tables = make_tables(2)
+        tables[0].set_forwarding(OBJ, 1)
+        tables[1].set_resident(OBJ)
+        route = resolve(OBJ, 0, tables, home_node=lambda a: 0)
+        compress_path(route, OBJ, tables)
+        assert tables[1].is_resident(OBJ)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=8),
+    moves=st.lists(st.integers(min_value=0, max_value=7), max_size=12),
+    start=st.integers(min_value=0, max_value=7),
+)
+def test_resolve_finds_object_after_any_move_sequence(n_nodes, moves, start):
+    """Property: after any sequence of moves that maintains forwarding
+    addresses the way the kernel does, resolve() from any node terminates
+    at the object's true location."""
+    tables = make_tables(n_nodes)
+    home = 0
+    location = home
+    tables[home].set_resident(OBJ)
+    for raw in moves:
+        dest = raw % n_nodes
+        if dest == location:
+            continue
+        tables[location].set_forwarding(OBJ, dest)
+        tables[dest].set_resident(OBJ)
+        location = dest
+    route = resolve(OBJ, start % n_nodes, tables, home_node=lambda a: home)
+    assert route.destination == location
+    # And path compression keeps it correct while shortening it.
+    compress_path(route, OBJ, tables)
+    again = resolve(OBJ, start % n_nodes, tables, home_node=lambda a: home)
+    assert again.destination == location
+    assert again.hops <= max(route.hops, 1)

@@ -1,0 +1,66 @@
+"""Tests for SOR on the DSM baseline (the section 4 comparison port)."""
+
+import pytest
+
+from repro.apps.sor import SorProblem
+from repro.apps.sor.ivy_sor import run_ivy_sor
+from repro.apps.sor.amber_sor import run_amber_sor
+
+SMALL = SorProblem(rows=24, cols=96, iterations=5)
+
+
+class TestIvySor:
+    def test_single_node_no_network(self):
+        result = run_ivy_sor(SMALL, nodes=1, cpus_per_node=4)
+        assert result.network_messages == 0
+        assert result.stats.page_transfers == 0
+        assert result.speedup > 3.0
+
+    def test_speedup_accounting(self):
+        result = run_ivy_sor(SMALL, nodes=2, cpus_per_node=2)
+        assert result.speedup == pytest.approx(
+            result.sequential_us / result.elapsed_us)
+        assert result.iterations_run == SMALL.iterations
+
+    def test_cross_node_edges_fault(self):
+        """Neighbor ghost rows live on other nodes: each phase faults the
+        pages they span."""
+        result = run_ivy_sor(SMALL, nodes=2, cpus_per_node=2)
+        assert result.stats.read_faults > 0
+        assert result.stats.page_transfers > 0
+        assert result.network_messages > 0
+
+    def test_boundary_pages_ping_pong(self):
+        """Rows are not page-aligned, so neighboring processes write-share
+        boundary pages — the false-sharing cost of section 4.2."""
+        result = run_ivy_sor(SMALL, nodes=4, cpus_per_node=1)
+        _, hottest = result.stats.hottest_page()
+        # A shared boundary page moves repeatedly across iterations.
+        assert hottest >= SMALL.iterations
+
+    def test_barrier_every_iteration(self):
+        result = run_ivy_sor(SMALL, nodes=2, cpus_per_node=2)
+        # One barrier round per iteration.
+        assert result.stats.barrier_rounds == SMALL.iterations
+
+    def test_parallelism_helps(self):
+        one = run_ivy_sor(SMALL, nodes=1, cpus_per_node=1, processes=1)
+        four = run_ivy_sor(SMALL, nodes=1, cpus_per_node=4)
+        assert four.elapsed_us < one.elapsed_us / 2
+
+    def test_amber_beats_ivy_across_nodes(self):
+        """The headline section 4 claim on a mid-size problem."""
+        problem = SorProblem(rows=61, cols=421, iterations=5)
+        ivy = run_ivy_sor(problem, nodes=4, cpus_per_node=4)
+        amber = run_amber_sor(problem, nodes=4, cpus_per_node=4)
+        assert amber.speedup > ivy.speedup
+
+    def test_deterministic(self):
+        a = run_ivy_sor(SMALL, nodes=2, cpus_per_node=2)
+        b = run_ivy_sor(SMALL, nodes=2, cpus_per_node=2)
+        assert a.elapsed_us == b.elapsed_us
+        assert a.stats.total_faults == b.stats.total_faults
+
+    def test_custom_process_count(self):
+        result = run_ivy_sor(SMALL, nodes=2, cpus_per_node=2, processes=2)
+        assert result.processes == 2

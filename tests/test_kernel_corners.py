@@ -1,0 +1,172 @@
+"""Remaining corner branches of the simulated kernel."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.sim.objects import SimObject
+from repro.sim.syscalls import (
+    Charge,
+    Compute,
+    Fork,
+    GetStats,
+    Invoke,
+    Join,
+    Locate,
+    MoveTo,
+    New,
+    Refresh,
+    SetImmutable,
+)
+from tests.helpers import Cell, run, run_free
+
+
+class TestReplicaCorners:
+    def test_refresh_fetches_remote_replica(self):
+        """Refresh on a node without a replica installs one proactively,
+        so the first invocation is already local."""
+        class Reader(SimObject):
+            def prefetch_then_read(self, ctx, table):
+                yield Refresh(table)
+                stats = yield GetStats()
+                remote_before = stats.total_remote_invocations
+                value = yield Invoke(table, "get")
+                remote_after = stats.total_remote_invocations
+                return value, remote_after - remote_before
+
+        def main(ctx):
+            table = yield New(Cell, 5)
+            yield SetImmutable(table)
+            reader = yield New(Reader, on_node=1)
+            return (yield Invoke(reader, "prefetch_then_read", table))
+
+        value, extra_remote = run_free(main).value
+        assert value == 5
+        assert extra_remote == 0
+
+    def test_moveto_immutable_existing_replica_cheap(self):
+        def main(ctx):
+            table = yield New(Cell, 5)
+            yield SetImmutable(table)
+            yield MoveTo(table, 1)
+            messages_before = ctx.cluster.network.stats.messages
+            yield MoveTo(table, 1)     # replica already there: no traffic
+            return ctx.cluster.network.stats.messages - messages_before
+
+        assert run_free(main).value == 0
+
+    def test_replica_fetch_prefers_lowest_replica_node(self):
+        """Replication sources are deterministic (lowest node id holding
+        a copy), keeping runs reproducible."""
+        def main(ctx):
+            table = yield New(Cell, 5)
+            yield SetImmutable(table)
+            yield MoveTo(table, 2)
+            yield MoveTo(table, 1)
+            return sorted(table._replica_nodes)
+
+        assert run_free(main, nodes=3).value == [0, 1, 2]
+
+
+class TestMoveCorners:
+    def test_remote_move_via_chain(self):
+        """MoveTo issued by a thread two stale hops away from the
+        object."""
+        def main(ctx):
+            cell = yield New(Cell, 9)
+            yield MoveTo(cell, 1)
+            # Overwrite node 0's fresh hint by moving via a helper on
+            # node 1 (node 0 isn't told).
+            class Mover(SimObject):
+                def push(self, ctx2, obj, dest):
+                    yield MoveTo(obj, dest)
+
+            mover = yield New(Mover, on_node=1)
+            yield Invoke(mover, "push", cell, 2)
+            yield Invoke(mover, "push", cell, 3)
+            # Node 0 still believes node 1; issue the move from here.
+            yield MoveTo(cell, 0)
+            where = yield Locate(cell)
+            value = yield Invoke(cell, "get")
+            return where, value
+
+        assert run_free(main, nodes=4).value == (0, 9)
+
+    def test_move_storm_converges(self):
+        """Concurrent movers pushing the same object to different nodes:
+        the object ends somewhere consistent and reachable."""
+        class Mover(SimObject):
+            def shuttle(self, ctx, obj, dests):
+                for dest in dests:
+                    yield MoveTo(obj, dest)
+                    yield Compute(500.0)
+
+        def main(ctx):
+            cell = yield New(Cell, 1)
+            mover_a = yield New(Mover)
+            mover_b = yield New(Mover, on_node=1)
+            thread_a = yield Fork(mover_a, "shuttle", cell, [1, 2, 3, 0])
+            thread_b = yield Fork(mover_b, "shuttle", cell, [2, 0, 1, 2])
+            yield Join(thread_a)
+            yield Join(thread_b)
+            where = yield Locate(cell)
+            value = yield Invoke(cell, "get")
+            tables = ctx.cluster.descriptor_tables()
+            resident = [node for node, table in tables.items()
+                        if table.is_resident(cell.vaddr)]
+            return where, value, resident
+
+        where, value, resident = run(main, nodes=4, cpus=2).value
+        assert value == 1
+        assert resident == [where]
+
+    def test_bound_thread_chases_repeated_moves(self):
+        """A thread computing inside an object that is moved twice while
+        it runs still finishes, on the final node."""
+        class Workplace(SimObject):
+            def grind(self, ctx):
+                yield Compute(100_000)
+                yield Charge(1.0)
+                return ctx.node
+
+        def main(ctx):
+            place = yield New(Workplace)
+            worker = yield Fork(place, "grind")
+            yield Compute(5_000)
+            yield MoveTo(place, 1)
+            yield Compute(5_000)
+            yield MoveTo(place, 2)
+            return (yield Join(worker))
+
+        assert run(main, nodes=3, cpus=2).value == 2
+
+
+class TestAtomicOpCorners:
+    def test_atomic_op_exception_propagates(self):
+        class Brittle(SimObject):
+            def snap(self, ctx):
+                raise RuntimeError("atomic snap")
+
+        def main(ctx):
+            brittle = yield New(Brittle)
+            try:
+                yield Invoke(brittle, "snap")
+            except RuntimeError as error:
+                return str(error)
+
+        assert run_free(main).value == "atomic snap"
+
+    def test_atomic_op_on_remote_object_round_trips(self):
+        class Plain(SimObject):
+            def read(self, ctx):
+                return 42
+
+        def main(ctx):
+            plain = yield New(Plain)
+            yield MoveTo(plain, 1)
+            t0 = ctx.now_us
+            value = yield Invoke(plain, "read")
+            return value, ctx.now_us - t0
+
+        value, elapsed = run(main).value
+        assert value == 42
+        assert elapsed == pytest.approx(8320.0)

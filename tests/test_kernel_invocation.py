@@ -1,0 +1,251 @@
+"""Kernel tests: invocation semantics (paper sections 3.2 and 3.4).
+
+Local invocations run in place; invoking a non-resident object migrates the
+thread to it (function shipping) and the return-time check brings it home.
+"""
+
+import pytest
+
+from repro.errors import InvocationError, ObjectNotFoundError
+from repro.sim.objects import SimObject
+from repro.sim.syscalls import (
+    Charge,
+    Compute,
+    Delete,
+    GetStats,
+    Invoke,
+    Locate,
+    MoveTo,
+    New,
+)
+from tests.helpers import Cell, run, run_free
+
+
+class TestLocalInvocation:
+    def test_result_passed_back(self):
+        def main(ctx):
+            cell = yield New(Cell, 7)
+            value = yield Invoke(cell, "get")
+            return value
+
+        assert run_free(main).value == 7
+
+    def test_arguments_passed(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield Invoke(cell, "set", 42)
+            return (yield Invoke(cell, "get"))
+
+        assert run_free(main).value == 42
+
+    def test_atomic_operation(self):
+        def main(ctx):
+            cell = yield New(Cell, 5)
+            return (yield Invoke(cell, "get_atomic"))
+
+        assert run_free(main).value == 5
+
+    def test_nested_invocations(self):
+        class Outer(SimObject):
+            def __init__(self, inner):
+                self.inner = inner
+
+            def double_inner(self, ctx):
+                value = yield Invoke(self.inner, "get")
+                return 2 * value
+
+        def main(ctx):
+            inner = yield New(Cell, 21)
+            outer = yield New(Outer, inner)
+            return (yield Invoke(outer, "double_inner"))
+
+        assert run_free(main).value == 42
+
+    def test_user_exception_propagates_to_caller(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            try:
+                yield Invoke(cell, "boom")
+            except ValueError as error:
+                return f"caught {error}"
+            return "not caught"
+
+        assert run_free(main).value == "caught boom"
+
+    def test_uncaught_exception_fails_the_program(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield Invoke(cell, "boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_free(main)
+
+    def test_unknown_method_raises_catchable_error(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            try:
+                yield Invoke(cell, "no_such_op")
+            except InvocationError:
+                return "rejected"
+
+        assert run_free(main).value == "rejected"
+
+    def test_invoking_non_object_rejected(self):
+        def main(ctx):
+            try:
+                yield Invoke("not an object", "get")
+            except InvocationError:
+                return "rejected"
+
+        assert run_free(main).value == "rejected"
+
+    def test_yielding_garbage_rejected(self):
+        def main(ctx):
+            try:
+                yield 12345
+            except InvocationError:
+                return "rejected"
+
+        assert run_free(main).value == "rejected"
+
+    def test_local_invocations_counted(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            for _ in range(5):
+                yield Invoke(cell, "get")
+            stats = yield GetStats()
+            return stats.total_local_invocations
+
+        assert run_free(main).value == 5
+
+
+class TestRemoteInvocation:
+    def test_operation_executes_at_objects_node(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield MoveTo(cell, 1)
+            where = yield Invoke(cell, "where")
+            return (where, ctx.node)
+
+        executed_at, back_home = run_free(main).value
+        assert executed_at == 1
+        assert back_home == 0   # return-time check brought the thread home
+
+    def test_remote_state_mutation_visible(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield MoveTo(cell, 1)
+            yield Invoke(cell, "set", 99)
+            return (yield Invoke(cell, "get"))
+
+        assert run_free(main).value == 99
+
+    def test_migration_stats(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield MoveTo(cell, 1)
+            yield Invoke(cell, "get")
+            stats = yield GetStats()
+            return (stats.thread_migrations,
+                    stats.total_remote_invocations)
+
+        migrations, remote = run_free(main).value
+        assert migrations == 2   # there and back
+        assert remote == 1
+
+    def test_remote_invoke_latency_matches_table1(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield MoveTo(cell, 1)
+            t0 = ctx.now_us
+            yield Invoke(cell, "where")
+            return ctx.now_us - t0
+
+        assert run(main).value == pytest.approx(8320.0)
+
+    def test_payload_bytes_add_wire_time(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield MoveTo(cell, 1)
+            t0 = ctx.now_us
+            yield Invoke(cell, "where", arg_bytes=5000)
+            return ctx.now_us - t0
+
+        assert run(main).value == pytest.approx(8320.0 + 5000 * 0.8)
+
+    def test_nested_remote_chain(self):
+        """A invokes B on node 1, which invokes C on node 0: the thread
+        hops 0 -> 1 -> 0 -> 1 -> 0 following the objects."""
+        class Chain(SimObject):
+            def __init__(self, nxt=None):
+                self.nxt = nxt
+
+            def depth(self, ctx):
+                if self.nxt is None:
+                    return (ctx.node,)
+                rest = yield Invoke(self.nxt, "depth")
+                return (ctx.node,) + rest
+
+        def main(ctx):
+            c = yield New(Chain)
+            b = yield New(Chain, c)
+            yield MoveTo(b, 1)
+            return (yield Invoke(b, "depth"))
+
+        assert run_free(main).value == (1, 0)
+
+
+class TestDelete:
+    def test_invoke_after_delete_rejected(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield Delete(cell)
+            try:
+                yield Invoke(cell, "get")
+            except (InvocationError, ObjectNotFoundError):
+                return "rejected"
+
+        assert run_free(main).value == "rejected"
+
+    def test_heap_block_reused_whole(self):
+        def main(ctx):
+            a = yield New(Cell, size_bytes=128)
+            addr_a = a.vaddr
+            yield Delete(a)
+            b = yield New(Cell, size_bytes=128)
+            return addr_a == b.vaddr
+
+        assert run_free(main).value is True
+
+    def test_delete_requires_residency(self):
+        from repro.errors import MobilityError
+
+        def main(ctx):
+            cell = yield New(Cell)
+            yield MoveTo(cell, 1)
+            try:
+                yield Delete(cell)
+            except MobilityError:
+                return "rejected"
+
+        assert run_free(main).value == "rejected"
+
+
+class TestLocate:
+    def test_locate_local(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            return (yield Locate(cell))
+
+        assert run_free(main).value == 0
+
+    def test_locate_after_moves(self):
+        def main(ctx):
+            cell = yield New(Cell)
+            yield MoveTo(cell, 1)
+            first = yield Locate(cell)
+            yield MoveTo(cell, 0)
+            second = yield Locate(cell)
+            return (first, second)
+
+        assert run_free(main, nodes=3).value == (1, 0)

@@ -1,0 +1,72 @@
+"""Tests for the distributed block matrix multiply application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import run_matmul
+
+
+def reference(m, k, n, seed=7):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k), dtype=np.float32)
+    b = rng.standard_normal((k, n), dtype=np.float32)
+    return a @ b
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("replicate_b", [True, False])
+    def test_product_is_correct(self, replicate_b):
+        result = run_matmul(m=48, k=40, n=56, nodes=3,
+                            replicate_b=replicate_b)
+        assert result.product.shape == (48, 56)
+        assert np.allclose(result.product, reference(48, 40, 56),
+                           rtol=1e-4)
+
+    def test_uneven_row_split(self):
+        result = run_matmul(m=50, k=32, n=32, nodes=4)
+        assert np.allclose(result.product, reference(50, 32, 32),
+                           rtol=1e-4)
+
+    def test_replication_reduces_migrations(self):
+        mutable = run_matmul(m=64, k=64, n=64, nodes=4,
+                             replicate_b=False)
+        immutable = run_matmul(m=64, k=64, n=64, nodes=4,
+                               replicate_b=True)
+        assert immutable.stats.thread_migrations < \
+            mutable.stats.thread_migrations
+        # One replica per non-owner node, at most.
+        assert 1 <= immutable.stats.replications <= 3
+
+    def test_replication_improves_speedup_on_reuse(self):
+        """Iterative re-reads of B: one replica beats a stream of
+        per-block fetches."""
+        mutable = run_matmul(m=96, k=96, n=96, nodes=4,
+                             replicate_b=False, rounds=4)
+        immutable = run_matmul(m=96, k=96, n=96, nodes=4,
+                               replicate_b=True, rounds=4)
+        assert immutable.speedup > mutable.speedup
+        assert immutable.network_bytes < mutable.network_bytes / 2
+
+    def test_parallelism_helps(self):
+        one = run_matmul(m=96, k=96, n=96, nodes=1, cpus_per_node=1)
+        four = run_matmul(m=96, k=96, n=96, nodes=4, cpus_per_node=1)
+        assert four.elapsed_us < one.elapsed_us
+
+    def test_single_node_near_sequential(self):
+        result = run_matmul(m=48, k=48, n=48, nodes=1, cpus_per_node=1)
+        assert result.speedup == pytest.approx(1.0, abs=0.15)
+
+    def test_deterministic(self):
+        a = run_matmul(m=48, k=48, n=48, nodes=2)
+        b = run_matmul(m=48, k=48, n=48, nodes=2)
+        assert a.elapsed_us == b.elapsed_us
+        assert np.array_equal(a.product, b.product)
+
+    def test_column_blocking_changes_traffic_not_result(self):
+        fine = run_matmul(m=48, k=48, n=48, nodes=2, replicate_b=False,
+                          col_block=8)
+        coarse = run_matmul(m=48, k=48, n=48, nodes=2, replicate_b=False,
+                            col_block=48)
+        assert np.allclose(fine.product, coarse.product, rtol=1e-4)
+        assert fine.stats.thread_migrations > \
+            coarse.stats.thread_migrations

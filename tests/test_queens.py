@@ -1,0 +1,106 @@
+"""Tests for the N-Queens work-pool application (dynamic parallelism)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.queens import (
+    KNOWN_SOLUTIONS,
+    count_completions,
+    run_amber_queens,
+    seed_prefixes,
+)
+
+
+class TestSolver:
+    @pytest.mark.parametrize("n", [1, 4, 5, 6, 7, 8, 9])
+    def test_known_solution_counts(self, n):
+        solutions, visited = count_completions(n, ())
+        assert solutions == KNOWN_SOLUTIONS[n]
+        assert visited > 0 or n == 1
+
+    def test_prefix_restricts_search(self):
+        total, _ = count_completions(6, ())
+        by_first_column = [count_completions(6, (col,))[0]
+                           for col in range(6)]
+        assert sum(by_first_column) == total
+
+    def test_conflicting_prefix_counts_zero(self):
+        solutions, visited = count_completions(8, (0, 0))
+        assert (solutions, visited) == (0, 0)
+        solutions, _ = count_completions(8, (0, 1))   # diagonal conflict
+        assert solutions == 0
+
+    def test_seed_prefixes_partition_the_space(self):
+        prefixes = seed_prefixes(8, 2)
+        assert all(len(prefix) == 2 for prefix in prefixes)
+        total = sum(count_completions(8, prefix)[0]
+                    for prefix in prefixes)
+        assert total == KNOWN_SOLUTIONS[8]
+
+    def test_seed_depth_zero(self):
+        assert seed_prefixes(8, 0) == [()]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(4, 8),
+       first=st.integers(0, 7), second=st.integers(0, 7))
+def test_prefix_decomposition_property(n, first, second):
+    """Counting under a prefix equals the sum over its extensions."""
+    first %= n
+    second %= n
+    base, _ = count_completions(n, (first,))
+    parts = sum(count_completions(n, (first, col))[0] for col in range(n))
+    assert parts == base
+
+
+class TestAmberQueens:
+    def test_correct_total_single_node(self):
+        result = run_amber_queens(n=8, nodes=1, cpus_per_node=2,
+                                  split_depth=1)
+        assert result.solutions == KNOWN_SOLUTIONS[8]
+        assert result.work_units == len(seed_prefixes(8, 1))
+
+    def test_correct_total_multi_node(self):
+        result = run_amber_queens(n=10, nodes=4, cpus_per_node=2,
+                                  split_depth=2, batch=2)
+        assert result.solutions == KNOWN_SOLUTIONS[10]
+
+    def test_parallel_speedup(self):
+        result = run_amber_queens(n=11, nodes=2, cpus_per_node=4,
+                                  split_depth=2, batch=3)
+        assert result.speedup > 3.0
+
+    def test_single_worker_near_sequential(self):
+        result = run_amber_queens(n=9, nodes=1, cpus_per_node=1,
+                                  split_depth=1)
+        assert result.speedup == pytest.approx(1.0, abs=0.1)
+
+    def test_batching_reduces_pool_traffic(self):
+        fine = run_amber_queens(n=10, nodes=4, cpus_per_node=2,
+                                split_depth=2, batch=1)
+        coarse = run_amber_queens(n=10, nodes=4, cpus_per_node=2,
+                                  split_depth=2, batch=6)
+        assert coarse.stats.total_remote_invocations < \
+            fine.stats.total_remote_invocations
+        assert coarse.elapsed_us < fine.elapsed_us
+
+    def test_all_work_units_accounted(self):
+        result = run_amber_queens(n=9, nodes=2, cpus_per_node=2,
+                                  split_depth=2)
+        assert result.work_units == len(seed_prefixes(9, 2))
+        assert sum(result.per_worker_units) == result.work_units
+
+    def test_deterministic(self):
+        a = run_amber_queens(n=9, nodes=2, cpus_per_node=2, split_depth=2)
+        b = run_amber_queens(n=9, nodes=2, cpus_per_node=2, split_depth=2)
+        assert a.elapsed_us == b.elapsed_us
+        assert a.per_worker_units == b.per_worker_units
+
+    def test_visited_counts_match_sequential(self):
+        result = run_amber_queens(n=9, nodes=2, cpus_per_node=2,
+                                  split_depth=2)
+        prefixes = seed_prefixes(9, 2)
+        expected = sum(count_completions(9, prefix)[1]
+                       for prefix in prefixes)
+        assert result.nodes_visited == expected

@@ -1,0 +1,88 @@
+"""Live-runtime tests for forwarding chains, path caching, and the
+address-space coordinator."""
+
+import time
+
+import pytest
+
+from repro.core.address_space import DEFAULT_REGION_BYTES
+from repro.runtime import AmberObject, Cluster, current_node
+
+
+class Token(AmberObject):
+    def __init__(self, tag=0):
+        self.tag = tag
+
+    def ping(self):
+        return (self.tag, current_node())
+
+
+class Prober(AmberObject):
+    def probe(self, target):
+        return target.ping()
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with Cluster(nodes=4) as c:
+        yield c
+
+
+class TestForwardingChains:
+    def test_chain_walk_after_multiple_moves(self, cluster):
+        token = cluster.create(Token, 1, node=1)
+        token.ping()                    # node 0 learns nothing new
+        cluster.move(token, 2)
+        cluster.move(token, 3)
+        # Node 0 believes node 1; 1 forwards to 2; 2 forwards to 3.
+        assert token.ping() == (1, 3)
+
+    def test_location_hints_shorten_later_requests(self, cluster):
+        token = cluster.create(Token, 2, node=1)
+        token.ping()
+        cluster.move(token, 2)
+        cluster.move(token, 3)
+        forwards_before = (cluster.node_stats(1)["forwards"]
+                           + cluster.node_stats(2)["forwards"])
+        token.ping()                    # chases the chain, leaves hints
+        _wait_for_hint(cluster)
+        token.ping()                    # should go (nearly) direct now
+        forwards_after = (cluster.node_stats(1)["forwards"]
+                          + cluster.node_stats(2)["forwards"])
+        chased = forwards_after - forwards_before
+        # The first ping cost the chain; the second at most one hop.
+        assert chased <= 3
+        assert cluster.node_stats(0)["hints"] >= 1
+
+    def test_uninitialized_descriptor_routes_via_home(self, cluster):
+        # Created on node 2 (its home), moved away; node 3 has never
+        # heard of it and must route via home.
+        token = cluster.create(Token, 3, node=2)
+        cluster.move(token, 0)
+        prober = cluster.create(Prober, node=3)
+        assert prober.probe(token) == (3, 0)
+
+
+def _wait_for_hint(cluster, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if cluster.node_stats(0)["hints"] >= 1:
+            return
+        time.sleep(0.02)
+
+
+class TestAddressSpace:
+    def test_vaddrs_unique_across_nodes(self, cluster):
+        handles = [cluster.create(Token, i, node=i % 4)
+                   for i in range(40)]
+        vaddrs = [handle.vaddr for handle in handles]
+        assert len(set(vaddrs)) == len(vaddrs)
+
+    def test_region_exhaustion_grants_more(self):
+        """A tiny region forces the heap to go back to the coordinator
+        for more address space (the paper's extension mechanism)."""
+        with Cluster(nodes=2, region_bytes=1024) as small:
+            handles = [small.create(Token, i, node=1)
+                       for i in range(40)]   # 40 * 64B > 1024B
+            values = [handle.ping() for handle in handles]
+            assert values == [(i, 1) for i in range(40)]

@@ -1,0 +1,134 @@
+"""Unit tests for the live runtime's transport and message layer."""
+
+import queue
+import socket
+import threading
+
+import pytest
+
+from repro.errors import RuntimeTransportError
+from repro.runtime.messages import Hello, InvokeMsg, ResultMsg
+from repro.runtime.transport import Mesh, recv_frame, send_frame
+
+
+def socket_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    conn, _ = server.accept()
+    server.close()
+    return client, conn
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, {"x": [1, 2, 3], "y": "hello"})
+            assert recv_frame(b) == {"x": [1, 2, 3], "y": "hello"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = socket_pair()
+        try:
+            for i in range(10):
+                send_frame(a, i)
+            assert [recv_frame(b) for _ in range(10)] == list(range(10))
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_frame(self):
+        a, b = socket_pair()
+        payload = b"x" * (4 << 20)
+        try:
+            writer = threading.Thread(target=send_frame, args=(a, payload))
+            writer.start()
+            assert recv_frame(b) == payload
+            writer.join()
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_raises(self):
+        a, b = socket_pair()
+        a.close()
+        with pytest.raises((ConnectionError, OSError)):
+            recv_frame(b)
+        b.close()
+
+    def test_message_dataclasses_roundtrip(self):
+        a, b = socket_pair()
+        message = InvokeMsg(7, 0, 0x1000, "add", (5,), {}, trace=(1, 2))
+        try:
+            send_frame(a, message)
+            got = recv_frame(b)
+            assert got == message
+        finally:
+            a.close()
+            b.close()
+
+
+class TestMesh:
+    def test_two_meshes_exchange_messages(self):
+        inbox_a, inbox_b = queue.SimpleQueue(), queue.SimpleQueue()
+        mesh_a = Mesh(0, lambda peer, msg: inbox_a.put((peer, msg)))
+        mesh_b = Mesh(1, lambda peer, msg: inbox_b.put((peer, msg)))
+        try:
+            directory = {0: mesh_a.address, 1: mesh_b.address}
+            mesh_a.set_directory(directory)
+            mesh_b.set_directory(directory)
+            mesh_a.send(1, ResultMsg(1, True, "ping"))
+            peer, message = inbox_b.get(timeout=5)
+            assert peer == 0
+            assert message.value == "ping"
+            mesh_b.send(0, ResultMsg(2, True, "pong"))
+            peer, message = inbox_a.get(timeout=5)
+            assert peer == 1
+            assert message.value == "pong"
+        finally:
+            mesh_a.close()
+            mesh_b.close()
+
+    def test_self_send_is_local(self):
+        inbox = queue.SimpleQueue()
+        mesh = Mesh(0, lambda peer, msg: inbox.put((peer, msg)))
+        try:
+            mesh.send(0, "loopback")
+            peer, message = inbox.get(timeout=1)
+            assert (peer, message) == (0, "loopback")
+        finally:
+            mesh.close()
+
+    def test_unknown_peer_rejected(self):
+        mesh = Mesh(0, lambda peer, msg: None)
+        try:
+            with pytest.raises(RuntimeTransportError):
+                mesh.send(7, "nope")
+        finally:
+            mesh.close()
+
+    def test_many_concurrent_sends(self):
+        inbox = queue.SimpleQueue()
+        mesh_a = Mesh(0, lambda peer, msg: None)
+        mesh_b = Mesh(1, lambda peer, msg: inbox.put(msg))
+        try:
+            directory = {0: mesh_a.address, 1: mesh_b.address}
+            mesh_a.set_directory(directory)
+            mesh_b.set_directory(directory)
+            threads = [threading.Thread(
+                target=lambda base=i: [mesh_a.send(1, base * 100 + j)
+                                       for j in range(20)])
+                for i in range(5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            got = {inbox.get(timeout=5) for _ in range(100)}
+            assert len(got) == 100
+        finally:
+            mesh_a.close()
+            mesh_b.close()

@@ -1,0 +1,155 @@
+"""Tests for per-node schedulers and runtime scheduler replacement
+(paper section 2.1 / Bershad et al. 88b)."""
+
+import pytest
+
+from repro.sim.objects import SimObject
+from repro.sim.scheduler import (
+    FifoScheduler,
+    LifoScheduler,
+    PriorityScheduler,
+)
+from repro.sim.syscalls import (
+    Compute,
+    Fork,
+    Join,
+    New,
+    SetScheduler,
+)
+from repro.sim.thread import SimThread
+from tests.helpers import run
+
+
+def make_threads(n):
+    return [SimThread(tid, name=f"t{tid}", priority=tid) for tid in range(n)]
+
+
+class TestSchedulerObjects:
+    def test_fifo_order(self):
+        scheduler = FifoScheduler()
+        threads = make_threads(3)
+        for thread in threads:
+            scheduler.enqueue(thread)
+        assert [scheduler.dequeue() for _ in range(3)] == threads
+        assert scheduler.dequeue() is None
+
+    def test_lifo_order(self):
+        scheduler = LifoScheduler()
+        threads = make_threads(3)
+        for thread in threads:
+            scheduler.enqueue(thread)
+        assert [scheduler.dequeue() for _ in range(3)] == threads[::-1]
+
+    def test_priority_order(self):
+        scheduler = PriorityScheduler()
+        threads = make_threads(3)   # priority == tid
+        for thread in threads:
+            scheduler.enqueue(thread)
+        out = [scheduler.dequeue() for _ in range(3)]
+        assert [thread.priority for thread in out] == [2, 1, 0]
+
+    def test_priority_fifo_among_equals(self):
+        scheduler = PriorityScheduler()
+        a, b = SimThread(0), SimThread(1)
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        assert scheduler.dequeue() is a
+        assert scheduler.dequeue() is b
+
+    @pytest.mark.parametrize("cls", [FifoScheduler, LifoScheduler,
+                                     PriorityScheduler])
+    def test_remove(self, cls):
+        scheduler = cls()
+        threads = make_threads(3)
+        for thread in threads:
+            scheduler.enqueue(thread)
+        assert scheduler.remove(threads[1])
+        assert not scheduler.remove(threads[1])
+        remaining = {scheduler.dequeue(), scheduler.dequeue()}
+        assert remaining == {threads[0], threads[2]}
+        assert len(scheduler) == 0
+
+    @pytest.mark.parametrize("cls", [FifoScheduler, LifoScheduler,
+                                     PriorityScheduler])
+    def test_len(self, cls):
+        scheduler = cls()
+        threads = make_threads(4)
+        for thread in threads:
+            scheduler.enqueue(thread)
+        assert len(scheduler) == 4
+        scheduler.dequeue()
+        assert len(scheduler) == 3
+
+    def test_drain(self):
+        scheduler = FifoScheduler()
+        threads = make_threads(3)
+        for thread in threads:
+            scheduler.enqueue(thread)
+        assert scheduler.drain() == threads
+        assert len(scheduler) == 0
+
+
+class Recorder(SimObject):
+    def __init__(self):
+        self.order = []
+
+    def job(self, ctx, tag):
+        yield Compute(10_000)
+        self.order.append(tag)
+
+
+class TestRuntimeReplacement:
+    def test_priority_scheduler_reorders_execution(self):
+        """Replacing the node scheduler at runtime changes dispatch order:
+        with a priority scheduler, the high-priority job queued last runs
+        before earlier low-priority jobs."""
+        def main(ctx):
+            yield SetScheduler(0, PriorityScheduler())
+            recorder = yield New(Recorder)
+            jobs = []
+            for tag, priority in [("low1", 0), ("low2", 0), ("high", 9)]:
+                jobs.append((yield Fork(recorder, "job", tag,
+                                        priority=priority)))
+            for job in jobs:
+                yield Join(job)
+            return recorder.order
+
+        # One CPU: main occupies it while forking, so all three jobs are
+        # queued when the CPU frees up; "high" must run first.
+        order = run(main, nodes=1, cpus=1).value
+        assert order[0] == "high"
+
+    def test_fifo_default_runs_in_fork_order(self):
+        def main(ctx):
+            recorder = yield New(Recorder)
+            jobs = []
+            for tag in ("a", "b", "c"):
+                jobs.append((yield Fork(recorder, "job", tag)))
+            for job in jobs:
+                yield Join(job)
+            return recorder.order
+
+        assert run(main, nodes=1, cpus=1).value == ["a", "b", "c"]
+
+    def test_replacement_carries_queued_threads(self):
+        """Threads already queued survive a scheduler swap."""
+        def main(ctx):
+            recorder = yield New(Recorder)
+            jobs = []
+            for tag in ("a", "b"):
+                jobs.append((yield Fork(recorder, "job", tag)))
+            yield SetScheduler(0, LifoScheduler())
+            for job in jobs:
+                yield Join(job)
+            return sorted(recorder.order)
+
+        assert run(main, nodes=1, cpus=1).value == ["a", "b"]
+
+    def test_per_node_schedulers_independent(self):
+        def main(ctx):
+            yield SetScheduler(1, PriorityScheduler())
+            cluster = ctx.cluster
+            return (type(cluster.node(0).scheduler).__name__,
+                    type(cluster.node(1).scheduler).__name__)
+
+        assert run(main).value == ("FifoScheduler", "PriorityScheduler")
