@@ -105,6 +105,8 @@ class MatmulResult:
     stats: ClusterStats
     network_bytes: int
     product: np.ndarray
+    #: The simulated cluster, for metrics/trace introspection.
+    cluster: object = None
 
     @property
     def speedup(self) -> float:
@@ -118,7 +120,8 @@ def run_matmul(m: int = 96, k: int = 96, n: int = 96,
                col_block: Optional[int] = None,
                mac_us: float = DEFAULT_MAC_US,
                costs: Optional[CostModel] = None,
-               seed: int = 7) -> MatmulResult:
+               seed: int = 7,
+               tracer=None) -> MatmulResult:
     """Multiply random ``m x k`` by ``k x n`` on a simulated cluster, one
     row-block (and one worker thread) per node."""
     rng = np.random.default_rng(seed)
@@ -151,7 +154,7 @@ def run_matmul(m: int = 96, k: int = 96, n: int = 96,
         return t_done, blocks
 
     config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node)
-    result = AmberProgram(config, costs).run(main)
+    result = AmberProgram(config, costs).run(main, tracer=tracer)
     t_done, blocks = result.value
     product = np.vstack(blocks)
     return MatmulResult(
@@ -161,4 +164,5 @@ def run_matmul(m: int = 96, k: int = 96, n: int = 96,
         stats=result.stats,
         network_bytes=result.cluster.network.stats.bytes,
         product=product,
+        cluster=result.cluster,
     )

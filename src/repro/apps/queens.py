@@ -179,6 +179,8 @@ class QueensResult:
     sequential_us: float
     stats: ClusterStats
     per_worker_units: List[int]
+    #: The simulated cluster, for metrics/trace introspection.
+    cluster: object = None
 
     @property
     def speedup(self) -> float:
@@ -199,7 +201,8 @@ def run_amber_queens(n: int = 10,
                      split_depth: int = 2,
                      batch: int = 1,
                      node_cost_us: float = DEFAULT_NODE_COST_US,
-                     costs: Optional[CostModel] = None) -> QueensResult:
+                     costs: Optional[CostModel] = None,
+                     tracer=None) -> QueensResult:
     """Count N-Queens solutions on a simulated Amber cluster."""
     prefixes = seed_prefixes(n, split_depth)
 
@@ -218,7 +221,7 @@ def run_amber_queens(n: int = 10,
         return solutions, visited, done, per_worker
 
     config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node)
-    result = AmberProgram(config, costs).run(main)
+    result = AmberProgram(config, costs).run(main, tracer=tracer)
     solutions, visited, done, per_worker = result.value
     return QueensResult(
         n=n, nodes=nodes, cpus_per_node=cpus_per_node,
@@ -228,4 +231,5 @@ def run_amber_queens(n: int = 10,
         sequential_us=visited * node_cost_us,
         stats=result.stats,
         per_worker_units=per_worker,
+        cluster=result.cluster,
     )

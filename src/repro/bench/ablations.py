@@ -19,11 +19,11 @@ Run: ``python -m repro.bench.ablations``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.apps.sor import SorProblem, run_amber_sor
 from repro.apps.sor.ivy_sor import run_ivy_sor
-from repro.bench.reporting import render_table
+from repro.bench.reporting import collect_metrics, render_table
 from repro.dsm.machine import IvyCluster
 from repro.dsm.ops import (
     Compute as IvyCompute,
@@ -66,12 +66,15 @@ class SorComparisonRow:
 
 def amber_vs_ivy_sor(iterations: int = 10,
                      configs=((1, 4), (2, 4), (4, 4), (8, 4)),
+                     metrics_out: Optional[dict] = None,
                      ) -> List[SorComparisonRow]:
     problem = SorProblem(iterations=iterations)
     rows = []
+    registries = []
     for nodes, cpus in configs:
         amber = run_amber_sor(problem, nodes=nodes, cpus_per_node=cpus)
         ivy = run_ivy_sor(problem, nodes=nodes, cpus_per_node=cpus)
+        registries.append(amber.cluster.metrics)
         rows.append(SorComparisonRow(
             label=f"{nodes}Nx{cpus}P",
             amber_speedup=amber.speedup,
@@ -81,6 +84,7 @@ def amber_vs_ivy_sor(iterations: int = 10,
             amber_messages=amber.cluster.network.stats.messages,
             ivy_messages=ivy.network_messages,
         ))
+    collect_metrics(metrics_out, "ablations/A1-amber", *registries)
     return rows
 
 
@@ -433,14 +437,14 @@ def immutable_replication(reads: int = 40) -> List[ImmutableRow]:
 # ---------------------------------------------------------------------------
 
 
-def main() -> str:
+def main(metrics_out: Optional[dict] = None) -> str:
     sections = []
     sections.append(render_table(
         ["Config", "Amber speedup", "Ivy speedup", "Ivy faults",
          "Ivy transfers", "Amber msgs", "Ivy msgs"],
         [(r.label, r.amber_speedup, r.ivy_speedup, r.ivy_faults,
           r.ivy_page_transfers, r.amber_messages, r.ivy_messages)
-         for r in amber_vs_ivy_sor()],
+         for r in amber_vs_ivy_sor(metrics_out=metrics_out)],
         title="A1: Function shipping (Amber) vs data shipping (Ivy), "
               "Red/Black SOR"))
     sections.append(render_table(

@@ -13,10 +13,11 @@ Run: ``python -m repro.bench.figure1``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps.sor import SorProblem, run_amber_sor
 from repro.apps.sor.amber_sor import SorMaster, SorSection
+from repro.bench.reporting import collect_metrics
 
 
 @dataclass
@@ -50,13 +51,15 @@ class SorStructure:
         return "\n".join(lines)
 
 
-def run_figure1(sections: int = 3, nodes: int = 3) -> SorStructure:
+def run_figure1(sections: int = 3, nodes: int = 3,
+                metrics_out: Optional[dict] = None) -> SorStructure:
     """Run a three-section SOR (as drawn in Figure 1) and recover the
     instantiated topology from the simulated kernel."""
     problem = SorProblem(rows=12, cols=36, iterations=2)
     result = run_amber_sor(problem, nodes=nodes, cpus_per_node=2,
                            sections=sections)
     cluster = result.cluster
+    collect_metrics(metrics_out, "figure1", cluster.metrics)
 
     section_objs = sorted(
         (obj for obj in cluster.objects.values()
@@ -91,8 +94,8 @@ def run_figure1(sections: int = 3, nodes: int = 3) -> SorStructure:
                         sections=structures, total_threads=app_threads)
 
 
-def main() -> str:
-    return run_figure1().describe()
+def main(metrics_out: Optional[dict] = None) -> str:
+    return run_figure1(metrics_out=metrics_out).describe()
 
 
 if __name__ == "__main__":

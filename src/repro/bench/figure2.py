@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from repro.apps.sor import SorProblem, run_amber_sor
 from repro.bench.paper_data import PAPER_FIGURE2_SPEEDUPS
-from repro.bench.reporting import render_table
+from repro.bench.reporting import collect_metrics, render_table
 from repro.core.costs import CostModel
 
 #: The configurations plotted in Figure 2, as (nodes, cpus_per_node).
@@ -50,12 +50,15 @@ class Figure2Row:
 
 
 def run_figure2(iterations: int = DEFAULT_ITERATIONS,
-                costs: Optional[CostModel] = None) -> List[Figure2Row]:
+                costs: Optional[CostModel] = None,
+                metrics_out: Optional[dict] = None) -> List[Figure2Row]:
     problem = SorProblem(iterations=iterations)
     rows: List[Figure2Row] = []
+    registries = []
     for nodes, cpus in FIGURE2_CONFIGS:
         result = run_amber_sor(problem, nodes=nodes, cpus_per_node=cpus,
                                costs=costs)
+        registries.append(result.cluster.metrics)
         rows.append(Figure2Row(
             label=result.label, nodes=nodes, cpus_per_node=cpus,
             total_cpus=nodes * cpus, sections=result.sections,
@@ -63,6 +66,8 @@ def run_figure2(iterations: int = DEFAULT_ITERATIONS,
             paper_speedup=PAPER_FIGURE2_SPEEDUPS.get(result.label)))
     no_overlap = run_amber_sor(problem, nodes=8, cpus_per_node=4,
                                overlap=False, costs=costs)
+    registries.append(no_overlap.cluster.metrics)
+    collect_metrics(metrics_out, "figure2", *registries)
     rows.append(Figure2Row(
         label="8Nx4P (no overlap)", nodes=8, cpus_per_node=4,
         total_cpus=32, sections=no_overlap.sections, overlap=False,
@@ -71,8 +76,9 @@ def run_figure2(iterations: int = DEFAULT_ITERATIONS,
     return rows
 
 
-def main(iterations: int = DEFAULT_ITERATIONS) -> str:
-    rows = run_figure2(iterations)
+def main(iterations: int = DEFAULT_ITERATIONS,
+         metrics_out: Optional[dict] = None) -> str:
+    rows = run_figure2(iterations, metrics_out=metrics_out)
     return render_table(
         ["Config", "CPUs", "Sections", "Speedup", "Paper", "Efficiency"],
         [(r.label, r.total_cpus, r.sections, r.speedup,

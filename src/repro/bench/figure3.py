@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.apps.sor import SorProblem, run_amber_sor
-from repro.bench.reporting import render_series
+from repro.bench.reporting import collect_metrics, render_series
 from repro.core.costs import CostModel
 
 #: Grid sizes swept (rows, cols), scaled around the paper's 122x842.
@@ -47,20 +47,25 @@ class Figure3Point:
 
 def run_figure3(iterations: int = DEFAULT_ITERATIONS,
                 costs: Optional[CostModel] = None,
-                grids: Optional[List[Tuple[int, int]]] = None
+                grids: Optional[List[Tuple[int, int]]] = None,
+                metrics_out: Optional[dict] = None
                 ) -> List[Figure3Point]:
     out: List[Figure3Point] = []
+    registries = []
     for rows, cols in grids or FIGURE3_GRIDS:
         problem = SorProblem(rows=rows, cols=cols, iterations=iterations)
         result = run_amber_sor(problem, nodes=NODES,
                                cpus_per_node=CPUS_PER_NODE, costs=costs)
+        registries.append(result.cluster.metrics)
         out.append(Figure3Point(rows, cols, problem.points, result.speedup,
                                 (rows, cols) == PAPER_GRID))
+    collect_metrics(metrics_out, "figure3", *registries)
     return out
 
 
-def main(iterations: int = DEFAULT_ITERATIONS) -> str:
-    points = run_figure3(iterations)
+def main(iterations: int = DEFAULT_ITERATIONS,
+         metrics_out: Optional[dict] = None) -> str:
+    points = run_figure3(iterations, metrics_out=metrics_out)
     series = [(f"{p.points:,}{' (X)' if p.is_paper_grid else ''}", p.speedup)
               for p in points]
     return render_series(

@@ -1,8 +1,12 @@
-"""Plain-text rendering of benchmark results (tables and series)."""
+"""Plain-text rendering of benchmark results (tables and series),
+plus helpers for exporting metrics registries alongside the tables."""
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, List, Optional, Sequence
+
+from repro.obs.metrics import merge_registries
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -38,6 +42,24 @@ def render_series(points: Sequence[tuple], x_label: str, y_label: str,
         bar = "#" * max(1, round(width * y / top)) if top > 0 else ""
         lines.append(f"{_fmt(x):>14} | {bar} {_fmt(y)}")
     return "\n".join(lines)
+
+
+def collect_metrics(metrics_out: Optional[dict], key: str,
+                    *registries) -> None:
+    """Merge ``registries`` into ``metrics_out[key]`` as a JSON-ready
+    summary.  No-op when ``metrics_out`` is None (the artifact was run
+    without ``--metrics-json``)."""
+    if metrics_out is None:
+        return
+    merged = merge_registries(r for r in registries if r is not None)
+    metrics_out[key] = merged.as_dict()
+
+
+def write_metrics_json(path: str, metrics: dict) -> None:
+    """Write collected per-artifact metrics summaries to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _fmt(value) -> str:

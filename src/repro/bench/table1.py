@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.bench.paper_data import PAPER_TABLE1_MS
-from repro.bench.reporting import render_table
+from repro.bench.reporting import collect_metrics, render_table
 from repro.core.costs import CostModel
 from repro.sim.cluster import ClusterConfig
 from repro.sim.objects import SimObject
@@ -80,17 +80,19 @@ def _microbench(ctx):
     return out
 
 
-def run_table1(costs: Optional[CostModel] = None) -> List[Table1Row]:
+def run_table1(costs: Optional[CostModel] = None,
+               metrics_out: Optional[dict] = None) -> List[Table1Row]:
     config = ClusterConfig(nodes=2, cpus_per_node=4)
     result = AmberProgram(config, costs or CostModel.firefly()).run(
         _microbench)
     measured: Dict[str, float] = result.value
+    collect_metrics(metrics_out, "table1", result.metrics)
     return [Table1Row(name, measured[name] / 1000.0, PAPER_TABLE1_MS[name])
             for name in PAPER_TABLE1_MS]
 
 
-def main() -> str:
-    rows = run_table1()
+def main(metrics_out: Optional[dict] = None) -> str:
+    rows = run_table1(metrics_out=metrics_out)
     table = render_table(
         ["Operation", "Measured (ms)", "Paper (ms)", "Measured/Paper"],
         [(r.operation, r.measured_ms, r.paper_ms, r.ratio) for r in rows],

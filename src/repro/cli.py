@@ -1,13 +1,21 @@
-"""Command-line interface: regenerate any paper artifact.
+"""Command-line interface: regenerate paper artifacts, trace and profile.
 
 ::
 
-    python -m repro table1              # Table 1 latencies
-    python -m repro figure1             # SOR program structure
-    python -m repro figure2 [--fast]    # SOR speedup by configuration
-    python -m repro figure3 [--fast]    # speedup vs problem size
-    python -m repro ablations           # A1-A6 design-claim measurements
-    python -m repro all [--fast]        # everything above, in order
+    python -m repro table1                    # Table 1 latencies
+    python -m repro figure1                   # SOR program structure
+    python -m repro figure2 [--fast]          # SOR speedup by configuration
+    python -m repro figure3 [--fast]          # speedup vs problem size
+    python -m repro ablations                 # A1-A6 design-claim runs
+    python -m repro all [--fast]              # everything above, in order
+
+    python -m repro trace sor --fast --out trace.json
+                                              # Chrome/Perfetto trace export
+    python -m repro profile sor --fast        # per-thread time attribution
+
+Every artifact accepts ``--metrics-json PATH`` to dump the run's metrics
+registry (operation-latency histograms with p50/p90/p99, counters,
+gauges) as JSON.
 """
 
 from __future__ import annotations
@@ -17,36 +25,154 @@ import sys
 from typing import List, Optional
 
 from repro.bench import ablations, figure1, figure2, figure3, table1
+from repro.bench.reporting import write_metrics_json
 
 _ARTIFACTS = {
-    "table1": lambda fast: table1.main(),
-    "figure1": lambda fast: figure1.main(),
-    "figure2": lambda fast: figure2.main(
-        iterations=8 if fast else figure2.DEFAULT_ITERATIONS),
-    "figure3": lambda fast: figure3.main(
-        iterations=6 if fast else figure3.DEFAULT_ITERATIONS),
-    "ablations": lambda fast: ablations.main(),
+    "table1": lambda fast, metrics_out: table1.main(
+        metrics_out=metrics_out),
+    "figure1": lambda fast, metrics_out: figure1.main(
+        metrics_out=metrics_out),
+    "figure2": lambda fast, metrics_out: figure2.main(
+        iterations=8 if fast else figure2.DEFAULT_ITERATIONS,
+        metrics_out=metrics_out),
+    "figure3": lambda fast, metrics_out: figure3.main(
+        iterations=6 if fast else figure3.DEFAULT_ITERATIONS,
+        metrics_out=metrics_out),
+    "ablations": lambda fast, metrics_out: ablations.main(
+        metrics_out=metrics_out),
 }
+
+
+# ---------------------------------------------------------------------------
+# Workloads available to ``trace`` and ``profile``
+# ---------------------------------------------------------------------------
+
+
+def _run_sor(fast: bool, tracer):
+    from repro.apps.sor import SorProblem, run_amber_sor
+    if fast:
+        problem = SorProblem(rows=40, cols=280, iterations=3)
+        return run_amber_sor(problem, nodes=2, cpus_per_node=2,
+                             tracer=tracer)
+    problem = SorProblem(iterations=20)
+    return run_amber_sor(problem, nodes=4, cpus_per_node=4, tracer=tracer)
+
+
+def _run_queens(fast: bool, tracer):
+    from repro.apps.queens import run_amber_queens
+    return run_amber_queens(n=8 if fast else 10, nodes=2,
+                            cpus_per_node=2 if fast else 4, tracer=tracer)
+
+
+def _run_matmul(fast: bool, tracer):
+    from repro.apps.matmul import run_matmul
+    size = 48 if fast else 96
+    return run_matmul(m=size, k=size, n=size, nodes=4, cpus_per_node=2,
+                      tracer=tracer)
+
+
+WORKLOADS = {
+    "sor": _run_sor,
+    "queens": _run_queens,
+    "matmul": _run_matmul,
+}
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.perfetto import export_chrome_trace
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer(max_events=args.max_events)
+    result = WORKLOADS[args.workload](args.fast, tracer)
+    count = export_chrome_trace(tracer.events, args.out,
+                                nodes=result.cluster.config.nodes)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"wrote {count} trace events to {args.out}{dropped}")
+    print(f"simulated elapsed: {result.elapsed_us:.1f} us "
+          f"on {result.cluster.config.label()}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    _maybe_write_metrics(args, result)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import profile_result, render_profile
+
+    result = WORKLOADS[args.workload](args.fast, None)
+    profiles = profile_result(result)
+    print(render_profile(
+        profiles, elapsed_us=result.elapsed_us,
+        title=(f"Per-thread time attribution: {args.workload} "
+               f"({result.cluster.config.label()}), microseconds")))
+    print()
+    print(result.cluster.metrics.render(title="Operation metrics"))
+    _maybe_write_metrics(args, result)
+    return 0
+
+
+def _maybe_write_metrics(args, result) -> None:
+    if args.metrics_json:
+        write_metrics_json(args.metrics_json,
+                           {args.workload: result.cluster.metrics.as_dict()})
+        print(f"metrics written to {args.metrics_json}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the evaluation artifacts of the Amber "
-                    "paper (SOSP 1989) on the simulated cluster.")
-    parser.add_argument("artifact",
-                        choices=sorted(_ARTIFACTS) + ["all"],
-                        help="which table/figure to regenerate")
-    parser.add_argument("--fast", action="store_true",
+                    "paper (SOSP 1989) on the simulated cluster, or "
+                    "trace/profile a simulated workload.")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+
+    for name in sorted(_ARTIFACTS) + ["all"]:
+        sp = sub.add_parser(name, help=f"regenerate {name}")
+        sp.add_argument("--fast", action="store_true",
                         help="fewer SOR iterations (quick look)")
+        sp.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="dump the runs' metrics registries as JSON")
+
+    tp = sub.add_parser("trace",
+                        help="run a workload and export a Chrome/Perfetto "
+                             "trace")
+    tp.add_argument("workload", choices=sorted(WORKLOADS))
+    tp.add_argument("--fast", action="store_true",
+                    help="smaller problem (quick look)")
+    tp.add_argument("--out", metavar="PATH", default="trace.json",
+                    help="trace-event JSON output path (default: "
+                         "trace.json)")
+    tp.add_argument("--max-events", type=int, default=500_000,
+                    help="tracer ring capacity (default: 500000)")
+    tp.add_argument("--metrics-json", metavar="PATH", default=None,
+                    help="also dump the run's metrics registry as JSON")
+
+    pp = sub.add_parser("profile",
+                        help="run a workload and print per-thread time "
+                             "attribution")
+    pp.add_argument("workload", choices=sorted(WORKLOADS))
+    pp.add_argument("--fast", action="store_true",
+                    help="smaller problem (quick look)")
+    pp.add_argument("--metrics-json", metavar="PATH", default=None,
+                    help="also dump the run's metrics registry as JSON")
+
     args = parser.parse_args(argv)
 
-    names = sorted(_ARTIFACTS) if args.artifact == "all" \
-        else [args.artifact]
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+
+    names = sorted(_ARTIFACTS) if args.command == "all" \
+        else [args.command]
+    metrics_out = {} if args.metrics_json else None
     outputs = []
     for name in names:
-        outputs.append(_ARTIFACTS[name](args.fast))
+        outputs.append(_ARTIFACTS[name](args.fast, metrics_out))
     print("\n\n".join(outputs))
+    if args.metrics_json:
+        write_metrics_json(args.metrics_json, metrics_out)
+        print(f"\nmetrics written to {args.metrics_json}")
     return 0
 
 

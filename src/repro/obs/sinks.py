@@ -1,0 +1,108 @@
+"""Streaming trace sinks.
+
+A :class:`repro.sim.trace.Tracer` forwards every event to a sink; the
+sink decides what to keep.  Three disciplines:
+
+* :class:`RingSink` — the default: a ``collections.deque(maxlen=...)``
+  ring holding the newest N events with O(1) eviction and a ``dropped``
+  count (the seed's list-based buffer paid O(n) per eviction via
+  ``list.pop(0)``).
+* :class:`JsonlSink` — streams every event to a JSON-lines file as it is
+  emitted; memory use is O(1) regardless of run length, so arbitrarily
+  long runs can be traced and post-processed offline.
+* :class:`NullSink` — counts and discards; attach it to measure tracer
+  overhead or to satisfy an API that demands a sink.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, List, Optional, Union
+
+
+class TraceSink:
+    """Interface: receives every emitted TraceEvent."""
+
+    #: Events discarded (evicted or deliberately dropped).
+    dropped: int = 0
+
+    def append(self, event) -> None:
+        raise NotImplementedError
+
+    @property
+    def events(self) -> List:
+        """Retained events, oldest first (may be a strict suffix of what
+        was emitted)."""
+        return []
+
+    def close(self) -> None:
+        """Flush and release resources (no-op for in-memory sinks)."""
+
+
+class RingSink(TraceSink):
+    """Keep the newest ``maxlen`` events in a deque ring."""
+
+    def __init__(self, maxlen: int = 100_000):
+        if maxlen < 1:
+            raise ValueError(f"ring needs maxlen >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._ring = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def append(self, event) -> None:
+        if len(self._ring) == self.maxlen:
+            self.dropped += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> List:
+        return list(self._ring)
+
+
+class JsonlSink(TraceSink):
+    """Stream events to ``path`` (or an open file object) as JSON lines.
+
+    Each line is one event: ``{"t_us": ..., "kind": ..., "node": ...,
+    "thread": ..., "vaddr": ..., "detail": ..., "dur_us": ...}``.
+    Null-ish fields are omitted to keep lines short.
+    """
+
+    def __init__(self, path_or_file: Union[str, IO[str]]):
+        if hasattr(path_or_file, "write"):
+            self._file: IO[str] = path_or_file
+            self._owns_file = False
+        else:
+            self._file = open(path_or_file, "w", encoding="utf-8")
+            self._owns_file = True
+        self.written = 0
+        self.dropped = 0
+
+    def append(self, event) -> None:
+        record = {"t_us": event.t_us, "kind": event.kind,
+                  "node": event.node}
+        if event.thread:
+            record["thread"] = event.thread
+        if event.vaddr is not None:
+            record["vaddr"] = event.vaddr
+        if event.detail:
+            record["detail"] = event.detail
+        if event.dur_us:
+            record["dur_us"] = event.dur_us
+        self._file.write(json.dumps(record) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class NullSink(TraceSink):
+    """Count and discard everything."""
+
+    def __init__(self) -> None:
+        self.dropped = 0
+
+    def append(self, event) -> None:
+        self.dropped += 1

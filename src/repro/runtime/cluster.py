@@ -9,10 +9,12 @@ driver script are visible everywhere).
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.address_space import DEFAULT_REGION_BYTES
 from repro.errors import ClusterError
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.coordinator import Coordinator, CoordinatorClient
 from repro.runtime.handles import Handle
 from repro.runtime.kernel import NodeKernel, ThreadHandle
@@ -52,6 +54,9 @@ class Cluster:
         directory = self._client.wait_directory(timeout=start_timeout)
         self.kernel.mesh.set_directory(directory)
         self._alive = True
+        #: Wall-clock latency histograms for driver-side operations
+        #: (``invoke_us``, ``move_us``, ``locate_us``, ``create_us``).
+        self.metrics = MetricsRegistry()
 
     # -- program-facing API -------------------------------------------------
 
@@ -59,12 +64,14 @@ class Cluster:
                **kwargs) -> Handle:
         """Create an object of ``cls``; on ``node`` if given, else here."""
         self._check_node(node)
-        return self.kernel.create(cls, args, kwargs, node)
+        with self._timed("create_us"):
+            return self.kernel.create(cls, args, kwargs, node)
 
     def call(self, handle: Handle, method: str, *args, **kwargs) -> Any:
         """Synchronous invocation (``handle.method(...)`` sugar does the
         same thing)."""
-        return self.kernel.invoke(handle.vaddr, method, args, kwargs)
+        with self._timed("invoke_us"):
+            return self.kernel.invoke(handle.vaddr, method, args, kwargs)
 
     def fork(self, handle: Handle, method: str, *args,
              **kwargs) -> ThreadHandle:
@@ -76,10 +83,12 @@ class Cluster:
         """MoveTo: relocate the object and its attachment group
         (immutable objects are copied instead)."""
         self._check_node(node)
-        self.kernel.move(handle.vaddr, node)
+        with self._timed("move_us"):
+            self.kernel.move(handle.vaddr, node)
 
     def locate(self, handle: Handle) -> int:
-        return self.kernel.locate(handle.vaddr)
+        with self._timed("locate_us"):
+            return self.kernel.locate(handle.vaddr)
 
     def set_immutable(self, handle: Handle) -> None:
         self.kernel.control(handle.vaddr, "set_immutable")
@@ -121,7 +130,27 @@ class Cluster:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
+    def _timed(self, metric: str):
+        """Context manager observing wall-clock latency into ``metric``."""
+        return _Timed(self.metrics, metric)
+
     def _check_node(self, node: Optional[int]) -> None:
         if node is not None and not 0 <= node < self.num_nodes:
             raise ClusterError(
                 f"no such node {node} (cluster has {self.num_nodes})")
+
+
+class _Timed:
+    """Times a block and records it, in microseconds, on exit."""
+
+    def __init__(self, metrics: MetricsRegistry, name: str):
+        self._metrics = metrics
+        self._name = name
+
+    def __enter__(self) -> "_Timed":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._metrics.observe(self._name,
+                              (time.perf_counter() - self._t0) * 1e6)

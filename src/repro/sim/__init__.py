@@ -39,6 +39,7 @@ from repro.sim.sync import (
     ReaderWriterLock,
     SpinLock,
 )
+from repro.sim.trace import TraceEvent, Tracer
 from repro.sim.syscalls import (
     Attach,
     Charge,
@@ -103,6 +104,8 @@ __all__ = [
     "SpinLock",
     "Start",
     "Suspend",
+    "TraceEvent",
+    "Tracer",
     "Unattach",
     "Wakeup",
     "Yield",

@@ -9,6 +9,7 @@ from repro.core.address_space import AddressSpaceServer
 from repro.core.attachment import AttachmentGraph
 from repro.core.costs import CostModel
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.network import Ethernet
 from repro.sim.node import SimNode
@@ -59,8 +60,12 @@ class SimCluster:
         self.config = config
         self.costs = costs or CostModel.firefly()
         self.sim = Simulator()
+        #: Always-on registry: the kernel and network feed it operation
+        #: latency histograms, lock wait/hold times, queue occupancy.
+        self.metrics = MetricsRegistry()
         self.network = Ethernet(self.sim, self.costs,
-                                contended=config.contended_network)
+                                contended=config.contended_network,
+                                metrics=self.metrics)
         self.address_server = AddressSpaceServer()
         self.nodes: List[SimNode] = [
             SimNode(node_id, config.cpus_per_node, self.address_server)
@@ -68,7 +73,8 @@ class SimCluster:
         ]
         self.objects: Dict[int, SimObject] = {}
         self.attachments = AttachmentGraph()
-        self.stats = ClusterStats(nodes=[node.stats for node in self.nodes])
+        self.stats = ClusterStats(nodes=[node.stats for node in self.nodes],
+                                  metrics=self.metrics)
         #: vaddr -> {origin node -> invocation count}; fed by the kernel,
         #: consumed by placement policies (repro.placement).
         self.access_log: Dict[int, Dict[int, int]] = {}

@@ -80,6 +80,11 @@ class InvocationContext:
         return self._kernel.cluster
 
     @property
+    def metrics(self):
+        """The cluster's :class:`repro.obs.metrics.MetricsRegistry`."""
+        return self._kernel.cluster.metrics
+
+    @property
     def num_nodes(self) -> int:
         return len(self._kernel.cluster.nodes)
 
@@ -95,6 +100,7 @@ class AmberKernel:
         self.sim = cluster.sim
         self.costs = cluster.costs
         self.net = cluster.network
+        self.metrics = cluster.metrics
         self._next_tid = 0
         self.threads: List[SimThread] = []
         cluster.kernel = self
@@ -143,14 +149,17 @@ class AmberKernel:
         self.cluster.objects[vaddr] = thread
         node.descriptors.set_resident(vaddr)
         node.stats.objects_created += 1
+        thread.attach_clock(self.sim)
         self.threads.append(thread)
         return thread
 
     def _trace(self, kind: str, node: int, thread: str = "",
-               vaddr=None, detail: str = "") -> None:
+               vaddr=None, detail: str = "",
+               dur_us: float = 0.0) -> None:
         tracer = self.cluster.tracer
         if tracer is not None:
-            tracer.emit(self.sim.now_us, kind, node, thread, vaddr, detail)
+            tracer.emit(self.sim.now_us, kind, node, thread, vaddr, detail,
+                        dur_us)
 
     def believed_location(self, node: SimNode, vaddr: int) -> int:
         """Where ``node`` should send a request for ``vaddr``: the
@@ -193,7 +202,11 @@ class AmberKernel:
         thread.cpu = None
         thread.surcharge_us += surcharge_us
         node = self.cluster.node(node_id)
+        self._trace("ready", node_id, thread.name)
         node.scheduler.enqueue(thread)
+        if self.cluster.tracer is not None:
+            self.metrics.sample(f"ready_queue_n{node_id}",
+                                len(node.scheduler))
         self._try_dispatch(node)
 
     def _try_dispatch(self, node: SimNode) -> None:
@@ -208,6 +221,7 @@ class AmberKernel:
 
     def _install_on_cpu(self, node: SimNode, cpu: Cpu,
                         thread: SimThread) -> None:
+        self._trace("run", node.id, thread.name)
         thread.state = ThreadState.RUNNING
         thread.cpu = cpu.index
         thread.location = node.id
@@ -248,6 +262,7 @@ class AmberKernel:
             top = thread.stack[-1]
             if node.descriptors.is_resident(top.obj.vaddr):
                 thread.on_arrival = None
+                self._observe_invoke_latency(thread)
                 thread.send_value = value
                 thread.send_exc = exc
                 self._advance(thread)
@@ -268,6 +283,7 @@ class AmberKernel:
     def _thread_exit(self, thread: SimThread, value: Any,
                      exc: Optional[BaseException]) -> None:
         def finish() -> None:
+            self._trace("exit", thread.location, thread.name)
             thread.state = ThreadState.DONE
             thread.result = value
             thread.exception = exc
@@ -311,6 +327,10 @@ class AmberKernel:
         run = min(remaining, thread.slice_left_us)
 
         def done() -> None:
+            # Duration event: timestamped at completion; the exporter
+            # backdates the slice start by ``dur_us``.
+            self._trace("compute", thread.location, thread.name,
+                        dur_us=run)
             thread.pending_compute_us -= run
             thread.slice_left_us -= run
             if thread.pending_compute_us <= 1e-12:
@@ -350,6 +370,9 @@ class AmberKernel:
         thread.run_token += 1
         node.stats.preemptions += 1
         node.stats.context_switches += 1
+        if elapsed_us > 0:
+            self._trace("compute", node.id, thread.name,
+                        dur_us=elapsed_us)
         self._trace("preempt", node.id, thread.name)
         cpu.thread = None
         cpu.run_event = None
@@ -417,6 +440,8 @@ class AmberKernel:
         node = self.cluster.node(thread.location)
 
         def block() -> None:
+            thread.block_reason = "sleep"
+            self._trace("block", node.id, thread.name, detail="sleep")
             thread.state = ThreadState.BLOCKED
             thread.run_token += 1
             self._release_cpu(thread)
@@ -449,6 +474,8 @@ class AmberKernel:
     def _handle_invoke(self, thread: SimThread, request: sc.Invoke) -> None:
         self._validate_target(request.target)
         thread.invocations += 1
+        thread.invoke_t0 = self.sim.now_us
+        thread.invoke_remote = False
         self._charge(thread, self.costs.local_invoke_us,
                      lambda: self._invoke_entry(thread, request))
 
@@ -469,6 +496,7 @@ class AmberKernel:
         else:
             thread.remote_invocations += 1
             node.stats.remote_invocations += 1
+            thread.invoke_remote = True
             self._trace("invoke-remote", node.id, thread.name, vaddr,
                         request.method)
             self._trap_and_migrate(thread, vaddr, payload=request.arg_bytes,
@@ -492,6 +520,8 @@ class AmberKernel:
                 f"FastInvoke on {target!r}: co-residency with "
                 f"{current!r} is not guaranteed (attach them first)")
         thread.invocations += 1
+        thread.invoke_t0 = self.sim.now_us
+        thread.invoke_remote = False
 
         def then() -> None:
             node = self.cluster.node(thread.location)
@@ -518,12 +548,19 @@ class AmberKernel:
         if hasattr(result, "send") and hasattr(result, "throw"):
             activation = Activation(target, request.method, result)
             activation.result_bytes = request.result_bytes
+            activation.start_us = thread.invoke_t0
+            activation.remote = thread.invoke_remote
+            activation.root = is_root
             thread.stack.append(activation)
             thread.send_value = None
             self._advance(thread)
         else:
             # Atomic operation: completed instantly; its return still
             # pops the (implicit) frame and pays the return-check cost.
+            if not is_root:
+                thread.pending_invoke_metric = (
+                    "invoke_remote_us" if thread.invoke_remote
+                    else "invoke_local_us", thread.invoke_t0)
             self._charge(thread, self.costs.local_return_us,
                          lambda: self._complete_return(
                              thread, result, None,
@@ -535,7 +572,14 @@ class AmberKernel:
         """The top operation finished (normally or exceptionally)."""
         result_bytes = 0
         if pop and thread.stack:
-            result_bytes = getattr(thread.stack[-1], "result_bytes", 0)
+            frame = thread.stack[-1]
+            result_bytes = getattr(frame, "result_bytes", 0)
+            if not frame.root:
+                # Observed once the value is delivered to the caller, so
+                # remote latencies include the migration back.
+                thread.pending_invoke_metric = (
+                    "invoke_remote_us" if frame.remote
+                    else "invoke_local_us", frame.start_us)
             thread.stack.pop()
         if not thread.stack:
             self._thread_exit(thread, value, exc)
@@ -552,6 +596,7 @@ class AmberKernel:
         node = self.cluster.node(thread.location)
         top = thread.stack[-1]
         if node.descriptors.is_resident(top.obj.vaddr):
+            self._observe_invoke_latency(thread)
             thread.send_value = value
             thread.send_exc = exc
             self._advance(thread)
@@ -559,6 +604,15 @@ class AmberKernel:
             self._trap_and_migrate(thread, top.obj.vaddr,
                                    payload=result_bytes,
                                    on_arrival=("deliver", value, exc))
+
+    def _observe_invoke_latency(self, thread: SimThread) -> None:
+        """Record a completed invocation's end-to-end latency once its
+        value reaches the caller (after any return-time migration)."""
+        pending = thread.pending_invoke_metric
+        if pending is not None:
+            thread.pending_invoke_metric = None
+            name, start_us = pending
+            self.metrics.observe(name, self.sim.now_us - start_us)
 
     def _validate_target(self, target: Any) -> None:
         if not isinstance(target, SimObject):
@@ -672,6 +726,9 @@ class AmberKernel:
                 self._advance(thread)
                 return
             target.joiners.append(thread)
+            thread.block_reason = "join"
+            self._trace("block", thread.location, thread.name,
+                        detail="join")
             thread.state = ThreadState.BLOCKED
             thread.run_token += 1
             self._release_cpu(thread)
@@ -685,6 +742,9 @@ class AmberKernel:
                 thread.wakeup_pending = False
                 self._advance(thread)
                 return
+            thread.block_reason = request.reason
+            self._trace("block", thread.location, thread.name,
+                        detail=request.reason)
             thread.state = ThreadState.BLOCKED
             thread.run_token += 1
             self._release_cpu(thread)
@@ -712,19 +772,27 @@ class AmberKernel:
         dest = request.node
         self.cluster.node(dest)  # validates the node id
         target = request.target
+        t0 = self.sim.now_us
         if isinstance(target, SimThread):
             self._move_thread_object(thread, target, dest)
             return
         if target.immutable:
-            self._replicate(thread, target, dest,
-                            lambda: self._resume_after_move(thread))
+            self._replicate(
+                thread, target, dest,
+                lambda: self._finish_move(thread, "replicate_us", t0))
             return
         node = self.cluster.node(thread.location)
         if node.descriptors.is_resident(target.vaddr):
-            self._move_group_local(thread, node, target.vaddr, dest,
-                                   lambda: self._resume_after_move(thread))
+            self._move_group_local(
+                thread, node, target.vaddr, dest,
+                lambda: self._finish_move(thread, "move_us", t0))
         else:
-            self._move_remote(thread, target.vaddr, dest)
+            self._move_remote(thread, target.vaddr, dest, t0)
+
+    def _finish_move(self, thread: SimThread, metric: str,
+                     t0: float) -> None:
+        self.metrics.observe(metric, self.sim.now_us - t0)
+        self._resume_after_move(thread)
 
     def _resume_after_move(self, thread: SimThread) -> None:
         """After a move completes, the mover itself may now be standing on
@@ -818,10 +886,13 @@ class AmberKernel:
             node.stats.cpu_busy_us += us
             self.sim.schedule_us(us, then)
 
-    def _move_remote(self, thread: SimThread, vaddr: int, dest: int) -> None:
+    def _move_remote(self, thread: SimThread, vaddr: int, dest: int,
+                     t0: Optional[float] = None) -> None:
         """MoveTo on a non-resident object: route the request to wherever
         the object lives and run the protocol there."""
         origin = self.cluster.node(thread.location)
+        if t0 is None:
+            t0 = self.sim.now_us
 
         def found(holder: SimNode) -> None:
             self._move_group_local(
@@ -831,7 +902,7 @@ class AmberKernel:
 
         def resume() -> None:
             self._charge(thread, self.costs.move_complete_us,
-                         lambda: self._resume_after_move(thread))
+                         lambda: self._finish_move(thread, "move_us", t0))
 
         self._charge(thread, self.costs.remote_trap_us,
                      lambda: self._route_control(origin, vaddr, found))
@@ -884,9 +955,11 @@ class AmberKernel:
         vaddr = request.target.vaddr
         node = self.cluster.node(thread.location)
         self.cluster.stats.locates += 1
+        t0 = self.sim.now_us
 
         def local_check() -> None:
             if node.descriptors.is_resident(vaddr):
+                self.metrics.observe("locate_us", self.sim.now_us - t0)
                 thread.send_value = node.id
                 self._advance(thread)
                 return
@@ -897,6 +970,7 @@ class AmberKernel:
                           lambda: deliver(holder.id))
 
         def deliver(where: int) -> None:
+            self.metrics.observe("locate_us", self.sim.now_us - t0)
             thread.send_value = where
             self._advance(thread)
 
@@ -1023,7 +1097,13 @@ class AmberKernel:
     def _fetch_replica(self, thread: SimThread, target: SimObject,
                        on_done) -> None:
         """Install a local replica of an immutable object, then continue."""
-        self._replicate(thread, target, thread.location, on_done)
+        t0 = self.sim.now_us
+
+        def done() -> None:
+            self.metrics.observe("replicate_us", self.sim.now_us - t0)
+            on_done()
+
+        self._replicate(thread, target, thread.location, done)
 
     # --- Scheduling control -------------------------------------------------
 
@@ -1061,6 +1141,7 @@ class AmberKernel:
             node.stats.threads_out += 1
             self.cluster.stats.thread_migrations += 1
             thread.migrations += 1
+            thread.transit_start_us = self.sim.now_us
             self._trace("migrate-out", node.id, thread.name, target_vaddr)
             thread.state = ThreadState.TRANSIT
             thread.run_token += 1
@@ -1097,6 +1178,10 @@ class AmberKernel:
             self._relocate_thread_object(thread, node_id)
             node.stats.threads_in += 1
             self._trace("migrate-in", node_id, thread.name, vaddr)
+            self.metrics.observe(
+                "migration_us", self.sim.now_us - thread.transit_start_us)
+            self.metrics.observe("forward_chain_hops",
+                                 max(0, len(thread.transit_path) - 2))
             thread.transit_target = None
             thread.transit_path = []
             self._ready(thread, node_id, self.costs.thread_recv_cpu_us())
@@ -1141,6 +1226,8 @@ class AmberKernel:
                 for visited in path[:-1]:
                     self.cluster.node(visited).descriptors.update_hint(
                         vaddr, next_node)
+                self.metrics.observe("forward_chain_hops",
+                                     max(0, len(path) - 2))
                 on_found(node)
                 return
             node.stats.forward_hops += 1

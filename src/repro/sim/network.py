@@ -13,9 +13,10 @@ storms compete for the wire exactly as they did on the real segment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.core.costs import CostModel
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 
 
@@ -36,12 +37,17 @@ class Ethernet:
     """Delivers messages after queueing + transmission + fixed latency."""
 
     def __init__(self, sim: Simulator, costs: CostModel,
-                 contended: bool = True):
+                 contended: bool = True,
+                 metrics: Optional[MetricsRegistry] = None):
         self._sim = sim
         self._costs = costs
         self.contended = contended
         self._busy_until_ns = 0
         self.stats = NetworkStats()
+        self._metrics = metrics
+        #: Messages currently queued or on the wire (event-granularity
+        #: occupancy; sampled into the ``net_inflight`` gauge per send).
+        self._inflight = 0
 
     def send(self, src: int, dst: int, nbytes: int,
              deliver: Callable[[], None]) -> None:
@@ -55,16 +61,30 @@ class Ethernet:
         if self.contended:
             start_ns = max(sim.now_ns, self._busy_until_ns)
             self._busy_until_ns = start_ns + occupancy_ns
-            self.stats.queueing_us += (start_ns - sim.now_ns) / 1000
+            queued_us = (start_ns - sim.now_ns) / 1000
+            self.stats.queueing_us += queued_us
             end_ns = self._busy_until_ns
         else:
             start_ns = sim.now_ns
+            queued_us = 0.0
             end_ns = start_ns + occupancy_ns
         self.stats.messages += 1
         self.stats.bytes += nbytes
         self.stats.busy_us += occupancy_us
         delivery_ns = end_ns + round(costs.net_latency_us * 1000)
-        sim.schedule_at_ns(delivery_ns, deliver)
+        if self._metrics is not None:
+            self._metrics.observe("net_queue_us", queued_us)
+            self._metrics.observe("net_msg_bytes", nbytes)
+            self._inflight += 1
+            self._metrics.sample("net_inflight", self._inflight)
+
+            def delivered() -> None:
+                self._inflight -= 1
+                deliver()
+
+            sim.schedule_at_ns(delivery_ns, delivered)
+        else:
+            sim.schedule_at_ns(delivery_ns, deliver)
 
     def uncontended_wire_us(self, nbytes: int) -> float:
         """Delivery time for one message on an idle wire (for predictions)."""

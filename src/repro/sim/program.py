@@ -62,6 +62,12 @@ class ProgramResult:
     def elapsed_s(self) -> float:
         return self.elapsed_us / 1e6
 
+    @property
+    def metrics(self):
+        """The run's :class:`repro.obs.metrics.MetricsRegistry`
+        (latency histograms, lock wait/hold, network queueing)."""
+        return self.cluster.metrics
+
 
 class AmberProgram:
     """Builds a cluster and runs one program on it to completion."""

@@ -2,13 +2,19 @@
 
 Every kernel action increments counters here; benchmarks and tests read them
 to verify communication behaviour (message counts, migrations, utilization)
-rather than just end-to-end time.
+rather than just end-to-end time.  Distributional metrics — operation
+latency histograms, lock wait times, network queueing — live in the
+cluster's :class:`repro.obs.metrics.MetricsRegistry`, which this snapshot
+references so ``as_dict()`` can report p50/p90/p99 alongside the flat
+counts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -31,9 +37,17 @@ class NodeStats:
 
     def utilization(self, elapsed_us: float) -> float:
         """Mean busy fraction of this node's CPUs over ``elapsed_us``."""
-        if elapsed_us <= 0:
+        if elapsed_us <= 0 or self.cpus <= 0:
             return 0.0
         return self.cpu_busy_us / (elapsed_us * self.cpus)
+
+    def merge(self, other: "NodeStats") -> None:
+        """Accumulate another run's counters for the same node shape."""
+        for f in fields(self):
+            if f.name in ("node", "cpus"):
+                continue
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -44,6 +58,8 @@ class ClusterStats:
     locates: int = 0
     thread_migrations: int = 0       # one-way thread transfers
     forwarding_hops_followed: int = 0
+    #: Latency histograms etc. for the same run (attached by SimCluster).
+    metrics: Optional[MetricsRegistry] = None
 
     def node(self, node_id: int) -> NodeStats:
         return self.nodes[node_id]
@@ -66,9 +82,32 @@ class ClusterStats:
             return 0.0
         return self.total_cpu_busy_us / (elapsed_us * total_cpus)
 
+    def merge(self, other: "ClusterStats") -> "ClusterStats":
+        """Fold another run's stats into this one (in place) so
+        multi-run benchmarks can report aggregates; returns self.
+        Node lists are matched by index (shorter list is extended)."""
+        for mine, theirs in zip(self.nodes, other.nodes):
+            mine.merge(theirs)
+        for extra in other.nodes[len(self.nodes):]:
+            clone = NodeStats(extra.node, extra.cpus)
+            clone.merge(extra)
+            self.nodes.append(clone)
+        self.object_moves += other.object_moves
+        self.replications += other.replications
+        self.locates += other.locates
+        self.thread_migrations += other.thread_migrations
+        self.forwarding_hops_followed += other.forwarding_hops_followed
+        if other.metrics is not None:
+            if self.metrics is None:
+                self.metrics = MetricsRegistry()
+            self.metrics.merge(other.metrics)
+        return self
+
     def as_dict(self) -> Dict[str, float]:
-        """Flat summary, convenient for benchmark reporting."""
-        return {
+        """Flat summary, convenient for benchmark reporting.  When a
+        metrics registry is attached, every latency histogram contributes
+        ``<name>_p50`` / ``_p90`` / ``_p99`` / ``_max`` entries."""
+        out: Dict[str, float] = {
             "local_invocations": self.total_local_invocations,
             "remote_invocations": self.total_remote_invocations,
             "thread_migrations": self.thread_migrations,
@@ -76,3 +115,10 @@ class ClusterStats:
             "replications": self.replications,
             "forwarding_hops": self.forwarding_hops_followed,
         }
+        if self.metrics is not None:
+            for name, histogram in sorted(self.metrics.histograms.items()):
+                summary = histogram.summary()
+                out[f"{name}_count"] = summary["count"]
+                for quantile in ("p50", "p90", "p99", "max"):
+                    out[f"{name}_{quantile}"] = summary[quantile]
+        return out

@@ -51,9 +51,11 @@ class Lock(SimObject):
         self._waiters: Deque[SimThread] = deque()
         self.acquisitions = 0
         self.contended_acquisitions = 0
+        self._acquired_us = 0.0
 
     def acquire(self, ctx):
         yield Charge(SYNC_OP_US)
+        t0 = ctx.now_us
         contended = False
         while self._held:
             contended = True
@@ -61,9 +63,11 @@ class Lock(SimObject):
             yield Suspend("lock")
         self._held = True
         self._owner = ctx.thread
+        self._acquired_us = ctx.now_us
         self.acquisitions += 1
         if contended:
             self.contended_acquisitions += 1
+        ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
     def release(self, ctx):
         yield Charge(SYNC_OP_US)
@@ -71,6 +75,8 @@ class Lock(SimObject):
             raise SynchronizationError(
                 f"release of lock {self.vaddr:#x} by non-owner "
                 f"{ctx.thread.name}")
+        ctx.metrics.observe("lock_hold_us",
+                            ctx.now_us - self._acquired_us)
         self._held = False
         self._owner = None
         if self._waiters:
@@ -82,6 +88,7 @@ class Lock(SimObject):
             return False
         self._held = True
         self._owner = ctx.thread
+        self._acquired_us = ctx.now_us
         self.acquisitions += 1
         return True
 
@@ -107,15 +114,19 @@ class SpinLock(SimObject):
         self._owner: Optional[SimThread] = None
         self.acquisitions = 0
         self.spin_us = 0.0
+        self._acquired_us = 0.0
 
     def acquire(self, ctx):
         yield Charge(SYNC_OP_US)
+        t0 = ctx.now_us
         while self._held:
             self.spin_us += SPIN_STEP_US
             yield Compute(SPIN_STEP_US)
         self._held = True
         self._owner = ctx.thread
+        self._acquired_us = ctx.now_us
         self.acquisitions += 1
+        ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
     def release(self, ctx):
         yield Charge(SYNC_OP_US)
@@ -123,6 +134,8 @@ class SpinLock(SimObject):
             raise SynchronizationError(
                 f"release of spinlock {self.vaddr:#x} by non-owner "
                 f"{ctx.thread.name}")
+        ctx.metrics.observe("lock_hold_us",
+                            ctx.now_us - self._acquired_us)
         self._held = False
         self._owner = None
 
@@ -150,6 +163,7 @@ class Barrier(SimObject):
 
     def wait(self, ctx):
         yield Charge(SYNC_OP_US)
+        t0 = ctx.now_us
         generation = self._generation
         self._count += 1
         if self._count == self.parties:
@@ -159,10 +173,12 @@ class Barrier(SimObject):
             waiting, self._waiting = self._waiting, []
             for thread in waiting:
                 yield Wakeup(thread)
+            ctx.metrics.observe("barrier_wait_us", 0.0)
             return True
         self._waiting.append(ctx.thread)
         while self._generation == generation:
             yield Suspend("barrier")
+        ctx.metrics.observe("barrier_wait_us", ctx.now_us - t0)
         return False
 
 
@@ -181,15 +197,19 @@ class Monitor(SimObject):
         self._owner: Optional[SimThread] = None
         self._waiters: Deque[SimThread] = deque()
         self.entries = 0
+        self._acquired_us = 0.0
 
     def enter(self, ctx):
         yield Charge(SYNC_OP_US)
+        t0 = ctx.now_us
         while self._held:
             self._waiters.append(ctx.thread)
             yield Suspend("monitor")
         self._held = True
         self._owner = ctx.thread
+        self._acquired_us = ctx.now_us
         self.entries += 1
+        ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
     def exit(self, ctx):
         yield Charge(SYNC_OP_US)
@@ -197,6 +217,8 @@ class Monitor(SimObject):
             raise SynchronizationError(
                 f"exit of monitor {self.vaddr:#x} by non-owner "
                 f"{ctx.thread.name}")
+        ctx.metrics.observe("lock_hold_us",
+                            ctx.now_us - self._acquired_us)
         self._held = False
         self._owner = None
         if self._waiters:

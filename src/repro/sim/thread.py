@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
+from repro.obs.profile import bucket_for_state
 from repro.sim.objects import SimObject
 
 
@@ -43,6 +44,12 @@ class Activation:
     method: str
     gen: Optional[Generator[Any, Any, Any]]
     result_bytes: int = 0
+    #: When the invocation entered the kernel (for latency histograms).
+    start_us: float = 0.0
+    #: Whether the invocation trapped and migrated to reach the target.
+    remote: bool = False
+    #: Root frames (thread bodies) are not measured as invocations.
+    root: bool = False
 
 
 class SimThread(SimObject):
@@ -59,7 +66,7 @@ class SimThread(SimObject):
         self.tid = tid
         self.name = name or f"thread-{tid}"
         self.priority = priority
-        self.state = ThreadState.NEW
+        self._state = ThreadState.NEW
         #: Node the thread currently occupies (None while in transit).
         self.location: Optional[int] = None
         self.stack: List[Activation] = []
@@ -91,6 +98,17 @@ class SimThread(SimObject):
         self.transit_path: List[int] = []
         #: What to do on arrival; set by the kernel.
         self.on_arrival: Any = None
+        #: Departure time of the in-flight migration (latency histogram).
+        self.transit_start_us: float = 0.0
+
+        # --- invocation latency bookkeeping ------------------------------
+        #: Kernel-entry time / residency of the invocation being set up
+        #: (copied onto the Activation frame at push time).
+        self.invoke_t0: float = 0.0
+        self.invoke_remote: bool = False
+        #: (histogram name, start time) of a completed invocation whose
+        #: value is still being delivered (possibly across a migration).
+        self.pending_invoke_metric: Optional[tuple] = None
 
         # --- termination --------------------------------------------------
         self.result: Any = None
@@ -101,6 +119,35 @@ class SimThread(SimObject):
         self.migrations: int = 0
         self.invocations: int = 0
         self.remote_invocations: int = 0
+        #: Wall-time attribution: profile bucket -> microseconds, kept by
+        #: the ``state`` setter once the kernel attaches a clock.
+        self.state_time_us: Dict[str, float] = {}
+        #: Why the thread is (or was last) BLOCKED — the Suspend reason,
+        #: or "join"/"sleep" for the kernel's own waits.
+        self.block_reason: str = ""
+        self._clock = None           # Simulator, attached by the kernel
+        self._state_since_us: Optional[float] = None
+
+    def attach_clock(self, sim) -> None:
+        """Start state-time accounting against ``sim``'s clock."""
+        self._clock = sim
+        self._state_since_us = sim.now_us
+
+    @property
+    def state(self) -> ThreadState:
+        return self._state
+
+    @state.setter
+    def state(self, new_state: ThreadState) -> None:
+        if self._clock is not None:
+            now_us = self._clock.now_us
+            bucket = bucket_for_state(self._state.value, self.block_reason)
+            elapsed = now_us - (self._state_since_us or 0.0)
+            if elapsed > 0:
+                self.state_time_us[bucket] = \
+                    self.state_time_us.get(bucket, 0.0) + elapsed
+            self._state_since_us = now_us
+        self._state = new_state
 
     @property
     def done(self) -> bool:

@@ -3,9 +3,15 @@
 Attach a :class:`Tracer` to a cluster before running and the kernel emits
 an event for every interesting transition: invocations (local/remote),
 thread migrations (departure and arrival), object moves, replica
-installs, and move-protocol preemptions.  Traces explain *why* a run
+installs, move-protocol preemptions, plus scheduling events (compute
+slices, ready/run/block transitions) that power the Perfetto exporter and
+the profile analyzer in :mod:`repro.obs`.  Traces explain *why* a run
 spent its time — which threads bounced between which nodes, which objects
 were migration magnets — and feed the text renderings below.
+
+Events flow into a :class:`repro.obs.sinks.TraceSink`; the default is an
+in-memory ring (newest events win, O(1) eviction), but a
+:class:`~repro.obs.sinks.JsonlSink` streams arbitrarily long runs to disk.
 
 Usage::
 
@@ -14,12 +20,17 @@ Usage::
     result = program.run(main, tracer=tracer)
     print(render_log(tracer.events[:40]))
     print(render_migration_matrix(tracer, nodes=config.nodes))
+
+    from repro.obs import export_chrome_trace
+    export_chrome_trace(tracer.events, "trace.json")   # open in Perfetto
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.sinks import RingSink, TraceSink
 
 
 @dataclass(frozen=True)
@@ -28,29 +39,47 @@ class TraceEvent:
 
     t_us: float
     kind: str            # invoke-local | invoke-remote | migrate-out |
-    #                      migrate-in | move | replicate | preempt
+    #                      migrate-in | move | replicate | preempt |
+    #                      compute | ready | run | block | wake | exit
     node: int            # where it happened
     thread: str = ""     # thread name, if any
     vaddr: Optional[int] = None
     detail: str = ""
+    #: Span length for duration events (``compute``); 0 for instants.
+    dur_us: float = 0.0
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records; bounded to protect memory on
-    long runs (the newest events win; ``dropped`` counts the rest)."""
+    """Collects :class:`TraceEvent` records into a sink.
 
-    def __init__(self, max_events: int = 100_000):
+    By default events land in a bounded in-memory ring to protect memory
+    on long runs (the newest events win; ``dropped`` counts the rest).
+    Pass any :class:`~repro.obs.sinks.TraceSink` to change the policy —
+    e.g. ``Tracer(sink=JsonlSink("events.jsonl"))`` to stream to disk.
+    """
+
+    def __init__(self, max_events: int = 100_000,
+                 sink: Optional[TraceSink] = None):
         self.max_events = max_events
-        self.events: List[TraceEvent] = []
-        self.dropped = 0
+        self.sink = sink if sink is not None else RingSink(max_events)
 
     def emit(self, t_us: float, kind: str, node: int, thread: str = "",
-             vaddr: Optional[int] = None, detail: str = "") -> None:
-        if len(self.events) >= self.max_events:
-            self.dropped += 1
-            self.events.pop(0)
-        self.events.append(TraceEvent(t_us, kind, node, thread, vaddr,
-                                      detail))
+             vaddr: Optional[int] = None, detail: str = "",
+             dur_us: float = 0.0) -> None:
+        self.sink.append(TraceEvent(t_us, kind, node, thread, vaddr,
+                                    detail, dur_us))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first."""
+        return self.sink.events
+
+    @property
+    def dropped(self) -> int:
+        return self.sink.dropped
+
+    def close(self) -> None:
+        self.sink.close()
 
     def by_kind(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -60,15 +89,20 @@ class Tracer:
 
     def migrations(self) -> List[Tuple[str, int, int]]:
         """(thread, src, dst) per completed migration, in order."""
-        pending: Dict[str, int] = {}
-        moves: List[Tuple[str, int, int]] = []
-        for event in self.events:
-            if event.kind == "migrate-out":
-                pending[event.thread] = event.node
-            elif event.kind == "migrate-in" and event.thread in pending:
-                moves.append((event.thread, pending.pop(event.thread),
-                              event.node))
-        return moves
+        return migration_pairs(self.events)
+
+
+def migration_pairs(events) -> List[Tuple[str, int, int]]:
+    """(thread, src, dst) per completed migration in an event stream."""
+    pending: Dict[str, int] = {}
+    moves: List[Tuple[str, int, int]] = []
+    for event in events:
+        if event.kind == "migrate-out":
+            pending[event.thread] = event.node
+        elif event.kind == "migrate-in" and event.thread in pending:
+            moves.append((event.thread, pending.pop(event.thread),
+                          event.node))
+    return moves
 
 
 def render_log(events: List[TraceEvent], limit: int = 50) -> str:
@@ -77,9 +111,10 @@ def render_log(events: List[TraceEvent], limit: int = 50) -> str:
              f"{'thread':<14} detail"]
     for event in events[:limit]:
         obj = f" obj={event.vaddr:#x}" if event.vaddr is not None else ""
+        dur = f" dur={event.dur_us:.1f}us" if event.dur_us else ""
         lines.append(f"{event.t_us:12.1f}  {event.node:>4}  "
                      f"{event.kind:<14} {event.thread:<14} "
-                     f"{event.detail}{obj}")
+                     f"{event.detail}{obj}{dur}")
     if len(events) > limit:
         lines.append(f"... {len(events) - limit} more events")
     return "\n".join(lines)
@@ -88,12 +123,17 @@ def render_log(events: List[TraceEvent], limit: int = 50) -> str:
 def render_migration_matrix(tracer: Tracer, nodes: int) -> str:
     """src x dst counts of thread migrations — the communication shape of
     the program at a glance."""
+    if nodes <= 0:
+        return "(no migrations: cluster has no nodes)"
     matrix = [[0] * nodes for _ in range(nodes)]
+    total = 0
     for _, src, dst in tracer.migrations():
         if 0 <= src < nodes and 0 <= dst < nodes:
             matrix[src][dst] += 1
-    width = max(5, len(str(max(max(row) for row in matrix) if nodes
-                           else 0)) + 2)
+            total += 1
+    if total == 0:
+        return "(no migrations)"
+    width = max(5, len(str(max(max(row) for row in matrix))) + 2)
     header = "src\\dst" + "".join(f"{d:>{width}}" for d in range(nodes))
     lines = [header]
     for src in range(nodes):

@@ -1,0 +1,437 @@
+"""Tests for the observability layer (``repro.obs``): metrics registry,
+trace sinks, the Chrome/Perfetto exporter, and the profile analyzer."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.obs.perfetto import chrome_trace_events, export_chrome_trace
+from repro.obs.profile import (
+    ThreadProfile,
+    analyze_trace,
+    bucket_for_state,
+    critical_path,
+    profile_result,
+    render_profile,
+)
+from repro.obs.sinks import JsonlSink, NullSink, RingSink
+from repro.sim import (
+    AmberProgram,
+    ClusterConfig,
+    Compute,
+    Fork,
+    Invoke,
+    Join,
+    New,
+    Sleep,
+    Tracer,
+)
+from repro.sim.objects import SimObject
+from repro.sim.stats import ClusterStats, NodeStats
+from repro.sim.sync import Lock
+from repro.sim.trace import TraceEvent
+
+
+class TestCounterGauge:
+    def test_counter_increments_and_merges(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_tracks_last_max_mean(self):
+        gauge = Gauge("queue")
+        for value in (2, 8, 4):
+            gauge.set(value)
+        assert gauge.value == 4
+        assert gauge.max == 8
+        assert gauge.mean == pytest.approx(14 / 3)
+
+
+class TestLatencyHistogram:
+    def test_exact_count_sum_min_max(self):
+        histogram = LatencyHistogram("lat")
+        for value in (1.0, 10.0, 100.0, 1000.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(1111.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 1000.0
+
+    def test_percentiles_within_bucket_error(self):
+        histogram = LatencyHistogram("lat")
+        for value in range(1, 101):          # 1..100
+            histogram.observe(float(value))
+        # Buckets grow by 10**0.25 (~1.78x): estimates are conservative
+        # but within one bucket of the true quantile.
+        assert 50 <= histogram.percentile(50) <= 50 * 10 ** 0.25
+        assert 90 <= histogram.percentile(90) <= 90 * 10 ** 0.25
+        assert histogram.percentile(100) == 100.0
+        assert histogram.percentile(0) >= 1.0
+
+    def test_zero_values_get_dedicated_bucket(self):
+        histogram = LatencyHistogram("lat")
+        for _ in range(9):
+            histogram.observe(0.0)
+        histogram.observe(1000.0)
+        assert histogram.percentile(50) == 0.0
+        assert histogram.percentile(99) == pytest.approx(1000.0)
+
+    def test_single_value_percentiles_are_exact(self):
+        histogram = LatencyHistogram("lat")
+        histogram.observe(123.0)
+        for p in (1, 50, 99):
+            assert histogram.percentile(p) == 123.0
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram("lat").percentile(99) == 0.0
+
+    def test_rejects_negative_and_bad_percentile(self):
+        histogram = LatencyHistogram("lat")
+        with pytest.raises(ValueError):
+            histogram.observe(-1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_merge_is_bucketwise(self):
+        a, b = LatencyHistogram("lat"), LatencyHistogram("lat")
+        for value in (1.0, 2.0, 3.0):
+            a.observe(value)
+        for value in (1000.0, 2000.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 5
+        assert a.min == 1.0
+        assert a.max == 2000.0
+        assert a.percentile(99) == 2000.0
+
+    def test_summary_has_quantile_keys(self):
+        histogram = LatencyHistogram("lat")
+        histogram.observe(5.0)
+        summary = histogram.summary()
+        for key in ("count", "mean", "min", "p50", "p90", "p99", "max"):
+            assert key in summary
+
+
+class TestMetricsRegistry:
+    def test_shorthands_and_as_dict(self):
+        registry = MetricsRegistry()
+        registry.inc("moves", 3)
+        registry.sample("queue", 7.0)
+        registry.observe("invoke_us", 250.0)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["moves"] == 3
+        assert snapshot["gauges"]["queue"]["max"] == 7.0
+        for quantile in ("p50", "p90", "p99"):
+            assert quantile in snapshot["histograms"]["invoke_us"]
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 10.0)
+        b.observe("lat", 1000.0)
+        b.inc("n")
+        merged = merge_registries([a, b])
+        assert merged.histograms["lat"].count == 2
+        assert merged.counters["n"].value == 1
+        # Inputs unchanged.
+        assert a.histograms["lat"].count == 1
+
+    def test_render_mentions_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 10.0)
+        registry.inc("n", 2)
+        registry.sample("depth", 3)
+        text = registry.render(title="T")
+        for token in ("T", "lat", "n", "depth", "p99"):
+            assert token in text
+        assert MetricsRegistry().render() == "(no metrics)"
+
+
+class TestSinks:
+    def test_ring_sink_evicts_oldest_with_dropped_count(self):
+        sink = RingSink(maxlen=3)
+        for t in range(6):
+            sink.append(TraceEvent(float(t), "run", 0))
+        assert sink.dropped == 3
+        assert [event.t_us for event in sink.events] == [3.0, 4.0, 5.0]
+
+    def test_ring_sink_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            RingSink(0)
+
+    def test_jsonl_sink_streams_parseable_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer(sink=JsonlSink(str(path)))
+        tracer.emit(1.0, "compute", 0, thread="t1", dur_us=5.0)
+        tracer.emit(2.0, "migrate-out", 0, thread="t1", vaddr=0x10)
+        tracer.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first == {"t_us": 1.0, "kind": "compute", "node": 0,
+                         "thread": "t1", "dur_us": 5.0}
+        assert second["vaddr"] == 0x10
+        assert tracer.dropped == 0
+
+    def test_null_sink_counts_and_discards(self):
+        tracer = Tracer(sink=NullSink())
+        tracer.emit(1.0, "run", 0)
+        assert tracer.events == []
+        assert tracer.dropped == 1
+
+
+def _sor_trace(fast_rows=16):
+    """A small traced SOR run (2 nodes, guaranteed migrations)."""
+    from repro.apps.sor import SorProblem, run_amber_sor
+    tracer = Tracer()
+    result = run_amber_sor(SorProblem(rows=fast_rows, cols=48,
+                                      iterations=2),
+                           nodes=2, cpus_per_node=2, sections=2,
+                           tracer=tracer)
+    return tracer, result
+
+
+class TestPerfettoExporter:
+    def test_export_writes_loadable_json(self, tmp_path):
+        tracer, result = _sor_trace()
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(tracer.events, str(path),
+                                    nodes=result.cluster.config.nodes)
+        document = json.loads(path.read_text())
+        assert set(document) >= {"traceEvents", "displayTimeUnit"}
+        assert len(document["traceEvents"]) == count > 0
+        for entry in document["traceEvents"]:
+            assert {"name", "ph", "pid"} <= set(entry)
+
+    def test_schema_timestamps_and_track_mapping(self):
+        tracer, result = _sor_trace()
+        entries = chrome_trace_events(tracer.events,
+                                      nodes=result.cluster.config.nodes)
+        nodes = result.cluster.config.nodes
+        instant_ts = []
+        for entry in entries:
+            if entry["ph"] == "M":
+                continue
+            assert 0 <= entry["pid"] < nodes          # pid == node id
+            assert entry["ts"] >= 0
+            if entry["ph"] == "X":
+                assert entry["dur"] > 0
+            if entry["ph"] == "i":
+                instant_ts.append(entry["ts"])
+        # Events are sorted before export: instants are monotonic.
+        assert instant_ts == sorted(instant_ts)
+
+    def test_metadata_names_every_node_and_thread(self):
+        tracer, result = _sor_trace()
+        entries = chrome_trace_events(tracer.events,
+                                      nodes=result.cluster.config.nodes)
+        metadata = [e for e in entries if e["ph"] == "M"]
+        process_names = {e["pid"]: e["args"]["name"] for e in metadata
+                         if e["name"] == "process_name"}
+        assert process_names == {0: "node 0", 1: "node 1"}
+        thread_names = {e["args"]["name"] for e in metadata
+                        if e["name"] == "thread_name"}
+        assert "main" in thread_names
+        assert "kernel" in thread_names
+
+    def test_migrations_become_flow_pairs(self):
+        tracer, _ = _sor_trace()
+        entries = chrome_trace_events(tracer.events)
+        starts = [e for e in entries if e["ph"] == "s"]
+        finishes = [e for e in entries if e["ph"] == "f"]
+        assert len(starts) > 0
+        # Every finish closes a started flow id; ids are unique.
+        start_ids = [e["id"] for e in starts]
+        assert len(set(start_ids)) == len(start_ids)
+        assert {e["id"] for e in finishes} <= set(start_ids)
+
+    def test_compute_slices_are_backdated(self):
+        events = [TraceEvent(100.0, "compute", 0, "t1", dur_us=40.0)]
+        entries = [e for e in chrome_trace_events(events)
+                   if e["ph"] == "X"]
+        assert entries[0]["ts"] == pytest.approx(60.0)
+        assert entries[0]["dur"] == pytest.approx(40.0)
+
+
+def _hand_built_trace():
+    """A deterministic 2-node, 2-thread event stream with known answers."""
+    E = TraceEvent
+    return [
+        E(0.0, "ready", 0, "t1"),
+        E(10.0, "run", 0, "t1"),                       # queue 10
+        E(60.0, "compute", 0, "t1", dur_us=50.0),      # compute 50
+        E(60.0, "migrate-out", 0, "t1"),
+        E(90.0, "migrate-in", 1, "t1"),                # migration 30
+        E(90.0, "ready", 1, "t1"),
+        E(95.0, "run", 1, "t1"),                       # queue 5
+        E(135.0, "compute", 1, "t1", dur_us=40.0),     # compute 40
+        E(135.0, "block", 1, "t1", detail="lock"),
+        E(155.0, "ready", 1, "t1"),                    # lock-wait 20
+        E(160.0, "run", 1, "t1"),                      # queue 5
+        E(0.0, "ready", 0, "t2"),
+        E(5.0, "run", 0, "t2"),                        # queue 5
+        E(25.0, "compute", 0, "t2", dur_us=20.0),      # compute 20
+        E(25.0, "block", 0, "t2", detail="join"),
+        E(125.0, "ready", 0, "t2"),                    # blocked 100
+    ]
+
+
+class TestAnalyzeTrace:
+    def test_buckets_from_hand_built_two_node_trace(self):
+        profiles = {p.name: p for p in analyze_trace(_hand_built_trace())}
+        t1 = profiles["t1"]
+        assert t1.buckets["compute"] == pytest.approx(90.0)
+        assert t1.buckets["migration"] == pytest.approx(30.0)
+        assert t1.buckets["queue"] == pytest.approx(20.0)
+        assert t1.buckets["lock-wait"] == pytest.approx(20.0)
+        assert t1.migrations == 1
+        t2 = profiles["t2"]
+        assert t2.buckets["compute"] == pytest.approx(20.0)
+        assert t2.buckets["blocked"] == pytest.approx(100.0)
+
+    def test_critical_path_is_busiest_thread(self):
+        profiles = analyze_trace(_hand_built_trace())
+        assert critical_path(profiles).name == "t1"
+        assert critical_path([]) is None
+
+    def test_render_reports_buckets_and_critical_path(self):
+        profiles = analyze_trace(_hand_built_trace())
+        text = render_profile(profiles, elapsed_us=160.0)
+        for token in ("compute", "migration", "queue", "lock-wait",
+                      "critical path: t1", "TOTAL"):
+            assert token in text
+
+    def test_bucket_for_state_classification(self):
+        assert bucket_for_state("running") == "compute"
+        assert bucket_for_state("ready") == "queue"
+        assert bucket_for_state("transit") == "migration"
+        assert bucket_for_state("blocked", "lock") == "lock-wait"
+        assert bucket_for_state("blocked", "barrier") == "lock-wait"
+        assert bucket_for_state("blocked", "join") == "blocked"
+
+    def test_thread_profile_fractions(self):
+        profile = ThreadProfile("t", {"compute": 75.0, "queue": 25.0})
+        assert profile.total_us == 100.0
+        assert profile.fraction("compute") == pytest.approx(0.75)
+        assert ThreadProfile("idle").fraction("compute") == 0.0
+
+
+class _LockUser(SimObject):
+    def __init__(self, lock):
+        self.lock = lock
+
+    def work(self, ctx, us):
+        yield Invoke(self.lock, "acquire")
+        yield Compute(us)
+        yield Invoke(self.lock, "release")
+
+
+class TestProfileResult:
+    def test_exact_accounting_covers_the_run(self):
+        def main(ctx):
+            yield Compute(400.0)
+            yield Sleep(300.0)
+
+        result = AmberProgram(ClusterConfig(nodes=1)).run(main)
+        profiles = {p.name: p for p in profile_result(result)}
+        main_profile = profiles["main"]
+        assert main_profile.buckets["compute"] >= 400.0
+        assert main_profile.buckets["blocked"] >= 300.0
+        # All time is attributed somewhere within the run's span.
+        assert main_profile.total_us <= result.elapsed_us + 1e-6
+
+    def test_lock_contention_shows_as_lock_wait(self):
+        def main(ctx):
+            lock = yield New(Lock)
+            user = yield New(_LockUser, lock)
+            first = yield Fork(user, "work", 2000.0)
+            second = yield Fork(user, "work", 2000.0)
+            yield Join(first)
+            yield Join(second)
+
+        result = AmberProgram(
+            ClusterConfig(nodes=1, cpus_per_node=4)).run(main)
+        profiles = profile_result(result)
+        assert sum(p.buckets.get("lock-wait", 0.0)
+                   for p in profiles) > 0.0
+        assert result.metrics.histograms["lock_wait_us"].count == 2
+        assert result.metrics.histograms["lock_hold_us"].count == 2
+
+
+class TestClusterStatsExtensions:
+    def test_utilization_zero_elapsed(self):
+        stats = NodeStats(node=0, cpus=4, cpu_busy_us=100.0)
+        assert stats.utilization(0.0) == 0.0
+        assert stats.utilization(-5.0) == 0.0
+
+    def test_utilization_zero_cpus(self):
+        stats = NodeStats(node=0, cpus=0, cpu_busy_us=100.0)
+        assert stats.utilization(1000.0) == 0.0
+
+    def test_utilization_normal(self):
+        stats = NodeStats(node=0, cpus=2, cpu_busy_us=1000.0)
+        assert stats.utilization(1000.0) == pytest.approx(0.5)
+
+    def test_cluster_mean_utilization_edge_cases(self):
+        assert ClusterStats().mean_utilization(1000.0) == 0.0
+        stats = ClusterStats(nodes=[NodeStats(0, 2, cpu_busy_us=500.0)])
+        assert stats.mean_utilization(0.0) == 0.0
+
+    def test_merge_accumulates_counters_and_metrics(self):
+        a = ClusterStats(nodes=[NodeStats(0, 2, local_invocations=3)],
+                         thread_migrations=1, metrics=MetricsRegistry())
+        a.metrics.observe("invoke_local_us", 10.0)
+        b = ClusterStats(nodes=[NodeStats(0, 2, local_invocations=5),
+                                NodeStats(1, 2, remote_invocations=2)],
+                         thread_migrations=4, metrics=MetricsRegistry())
+        b.metrics.observe("invoke_local_us", 1000.0)
+        a.merge(b)
+        assert a.node(0).local_invocations == 8
+        assert a.node(1).remote_invocations == 2      # list extended
+        assert a.thread_migrations == 5
+        assert a.metrics.histograms["invoke_local_us"].count == 2
+
+    def test_as_dict_reports_histogram_quantiles(self):
+        stats = ClusterStats(nodes=[NodeStats(0, 2)],
+                             metrics=MetricsRegistry())
+        stats.metrics.observe("migration_us", 500.0)
+        out = stats.as_dict()
+        assert out["migration_us_count"] == 1
+        for key in ("migration_us_p50", "migration_us_p90",
+                    "migration_us_p99", "migration_us_max"):
+            assert key in out
+
+    def test_as_dict_without_metrics_unchanged(self):
+        out = ClusterStats(nodes=[NodeStats(0, 2)]).as_dict()
+        assert "local_invocations" in out
+        assert not any(key.endswith("_p99") for key in out)
+
+
+class TestRunMetrics:
+    def test_sor_run_populates_operation_histograms(self):
+        _, result = _sor_trace()
+        histograms = result.cluster.metrics.histograms
+        for name in ("invoke_local_us", "invoke_remote_us",
+                     "migration_us", "net_queue_us"):
+            assert histograms[name].count > 0, name
+        assert math.isfinite(histograms["invoke_remote_us"].percentile(99))
+
+    def test_remote_invoke_slower_than_local(self):
+        _, result = _sor_trace()
+        histograms = result.cluster.metrics.histograms
+        assert (histograms["invoke_remote_us"].percentile(50)
+                > histograms["invoke_local_us"].percentile(50))
