@@ -202,7 +202,8 @@ def run_amber_queens(n: int = 10,
                      batch: int = 1,
                      node_cost_us: float = DEFAULT_NODE_COST_US,
                      costs: Optional[CostModel] = None,
-                     tracer=None) -> QueensResult:
+                     tracer=None,
+                     faults=None) -> QueensResult:
     """Count N-Queens solutions on a simulated Amber cluster."""
     prefixes = seed_prefixes(n, split_depth)
 
@@ -221,7 +222,7 @@ def run_amber_queens(n: int = 10,
         return solutions, visited, done, per_worker
 
     config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node)
-    result = AmberProgram(config, costs).run(main, tracer=tracer)
+    result = AmberProgram(config, costs, faults).run(main, tracer=tracer)
     solutions, visited, done, per_worker = result.value
     return QueensResult(
         n=n, nodes=nodes, cpus_per_node=cpus_per_node,

@@ -405,7 +405,8 @@ def run_amber_sor(problem: SorProblem,
                   costs: Optional[CostModel] = None,
                   contended_network: bool = True,
                   collect_grid: bool = False,
-                  tracer=None) -> AmberSorResult:
+                  tracer=None,
+                  faults=None) -> AmberSorResult:
     """Run the Amber SOR program on a simulated cluster.
 
     The defaults reproduce the paper's experimental setup: sections per
@@ -470,7 +471,7 @@ def run_amber_sor(problem: SorProblem,
 
     config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node,
                            contended_network=contended_network)
-    result = AmberProgram(config, costs).run(main, tracer=tracer)
+    result = AmberProgram(config, costs, faults).run(main, tracer=tracer)
     outcomes, finish_us, grid = result.value
     iterations_run = max(outcome[0] for outcome in outcomes)
     final_delta = max(outcome[1] for outcome in outcomes)

@@ -12,6 +12,9 @@
     python -m repro trace sor --fast --out trace.json
                                               # Chrome/Perfetto trace export
     python -m repro profile sor --fast        # per-thread time attribution
+    python -m repro faults [--fast] [--seed N]
+                                              # fault injection & recovery
+                                              # report (see docs/FAULTS.md)
 
 Every artifact accepts ``--metrics-json PATH`` to dump the run's metrics
 registry (operation-latency histograms with p50/p90/p99, counters,
@@ -110,6 +113,20 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    import json
+
+    from repro.faults.scenario import run_fault_scenarios
+
+    report = run_fault_scenarios(seed=args.seed, fast=args.fast)
+    print(report.render())
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nreport written to {args.metrics_json}")
+    return 0 if report.ok else 1
+
+
 def _maybe_write_metrics(args, result) -> None:
     if args.metrics_json:
         write_metrics_json(args.metrics_json,
@@ -147,6 +164,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     tp.add_argument("--metrics-json", metavar="PATH", default=None,
                     help="also dump the run's metrics registry as JSON")
 
+    fp = sub.add_parser("faults",
+                        help="run the fault-recovery scenarios and print "
+                             "a pass/fail report")
+    fp.add_argument("--fast", action="store_true",
+                    help="smaller workloads (quick look / CI smoke)")
+    fp.add_argument("--seed", type=int, default=0,
+                    help="fault plan seed (default: 0)")
+    fp.add_argument("--metrics-json", metavar="PATH", default=None,
+                    help="dump the recovery report (verdicts + fault "
+                         "counters) as JSON")
+
     pp = sub.add_parser("profile",
                         help="run a workload and print per-thread time "
                              "attribution")
@@ -162,6 +190,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
 
     names = sorted(_ARTIFACTS) if args.command == "all" \
         else [args.command]

@@ -97,6 +97,11 @@ class DescriptorTable:
         """Drop the descriptor (object deleted; page returns to zero-fill)."""
         self._table.pop(address, None)
 
+    def items(self):
+        """Snapshot of (address, descriptor) pairs — used by crash
+        recovery to find forwarding entries that did not survive."""
+        return list(self._table.items())
+
     def __len__(self) -> int:
         return len(self._table)
 

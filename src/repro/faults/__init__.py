@@ -1,0 +1,34 @@
+"""Fault injection and recovery for simulated Amber runs.
+
+The paper's location protocol (section 4.2) is built for staleness —
+forwarding chains with a home-node fallback — but only degraded networks
+actually exercise it.  This package supplies the degradation: a seeded,
+deterministic :class:`FaultPlan` (message drop / duplicate / delay /
+reorder, node crash + restart, partition windows), the
+:class:`FaultInjector` that the simulated Ethernet consults per
+transmission, and ready-made scenarios with a recovery report
+(``python -m repro faults``).
+
+Quick use::
+
+    from repro.faults import FaultPlan, NodeCrash
+    from repro.sim.program import run_program
+
+    plan = FaultPlan(seed=7, drop_rate=0.05,
+                     crashes=(NodeCrash(node=1, at_us=50_000,
+                                        restart_us=150_000),))
+    result = run_program(main, nodes=4, faults=plan)
+
+See ``docs/FAULTS.md`` for the fault model and determinism guarantees.
+"""
+
+from repro.faults.inject import Decision, FaultInjector
+from repro.faults.plan import FaultPlan, NodeCrash, Partition
+
+__all__ = [
+    "Decision",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "Partition",
+]

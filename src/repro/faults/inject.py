@@ -1,0 +1,127 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan`
+into per-message decisions, deterministically.
+
+One injector is bound to one run (it owns the seeded PRNG and the
+metrics counters).  The simulated Ethernet consults :meth:`decide` once
+per transmission attempt; crash state is read from the live cluster (a
+callable installed by :class:`~repro.sim.cluster.SimCluster`) so that
+manually induced crashes — e.g. tests driving
+``AmberKernel._crash_node`` directly — are honored exactly like planned
+ones.
+
+Counters fed into the run's :class:`~repro.obs.metrics.MetricsRegistry`:
+
+``faults_injected``
+    Every non-clean outcome (drop, duplicate, delay, reorder,
+    crash-drop, partition-drop).
+``faults_dropped`` / ``faults_duplicated`` / ``faults_delayed``
+    Per-kind breakdown of random message faults.
+``faults_crash_drops`` / ``faults_partition_drops``
+    Messages lost to a dead endpoint or a severed link.
+``retries``
+    Retransmissions performed by the reliable-delivery layer.
+``send_give_ups``
+    Reliable sends that exhausted every retransmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one transmission attempt."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay_us: float = 0.0
+
+
+_CLEAN = Decision()
+_DROP = Decision(drop=True)
+
+
+class FaultInjector:
+    """Per-run fault state: seeded PRNG + counters."""
+
+    def __init__(self, plan: FaultPlan,
+                 metrics: Optional[MetricsRegistry] = None,
+                 is_down: Optional[Callable[[int], bool]] = None):
+        self.plan = plan
+        self._rng = Random(plan.seed)
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Live crash predicate (node id -> down?); defaults to the
+        #: plan's schedule evaluated at the decision time.
+        self._is_down = is_down
+        self.max_attempts = plan.max_attempts
+
+    # -- decisions ---------------------------------------------------------
+
+    def node_down(self, node: int, now_us: float) -> bool:
+        if self._is_down is not None:
+            return self._is_down(node)
+        return self.plan.is_down(node, now_us)
+
+    def decide(self, src: int, dst: int, now_us: float) -> Decision:
+        """Fate of one transmission attempt from ``src`` to ``dst``.
+
+        Crash and partition drops are checked first and consume no
+        randomness, so the PRNG stream depends only on the sequence of
+        live-link transmissions — identical across reruns.
+        """
+        plan = self.plan
+        if self.node_down(src, now_us) or self.node_down(dst, now_us):
+            self._count("faults_crash_drops")
+            return _DROP
+        if plan.partitioned(src, dst, now_us):
+            self._count("faults_partition_drops")
+            return _DROP
+        if not (plan.drop_rate or plan.dup_rate or plan.delay_rate
+                or plan.reorder_rate):
+            return _CLEAN
+        roll = self._rng.random()
+        if roll < plan.drop_rate:
+            self._count("faults_dropped")
+            return _DROP
+        roll -= plan.drop_rate
+        if roll < plan.dup_rate:
+            self._count("faults_duplicated")
+            return Decision(duplicate=True)
+        roll -= plan.dup_rate
+        if roll < plan.delay_rate:
+            self._count("faults_delayed")
+            span = plan.delay_max_us - plan.delay_min_us
+            return Decision(extra_delay_us=plan.delay_min_us
+                            + span * self._rng.random())
+        roll -= plan.delay_rate
+        if roll < plan.reorder_rate:
+            self._count("faults_delayed")
+            # Enough slip for later traffic to overtake, well under the
+            # retransmission timeout.
+            return Decision(
+                extra_delay_us=0.5 * plan.rto_us * self._rng.random())
+        return _CLEAN
+
+    # -- reliable-layer bookkeeping ---------------------------------------
+
+    def rto_us(self, attempt: int) -> float:
+        """Retransmission timeout after attempt ``attempt`` (1-based):
+        exponential backoff, capped."""
+        return min(self.plan.rto_us * 2 ** (attempt - 1),
+                   self.plan.rto_cap_us)
+
+    def count_retry(self) -> None:
+        self._metrics.inc("retries")
+
+    def count_give_up(self) -> None:
+        self._metrics.inc("send_give_ups")
+
+    def _count(self, kind: str) -> None:
+        self._metrics.inc("faults_injected")
+        self._metrics.inc(kind)

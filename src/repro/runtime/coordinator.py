@@ -63,6 +63,14 @@ class Coordinator:
                 if isinstance(message, m.RegisterNode):
                     node = message.node
                     with self._lock:
+                        stale = self._connections.get(node)
+                        if stale is not None and stale is not conn:
+                            # The node came back (restart): adopt the
+                            # new connection, drop the dead one.
+                            try:
+                                stale.close()
+                            except OSError:
+                                pass
                         self._registered[node] = message.address
                         self._connections[node] = conn
                         complete = (len(self._registered)
@@ -70,8 +78,15 @@ class Coordinator:
                         directory = dict(self._registered)
                         connections = list(self._connections.values())
                     if complete:
+                        # A re-registration after completion rebroadcasts
+                        # so survivors learn the replacement address.
                         for peer in connections:
-                            send_frame(peer, m.NodeDirectory(directory))
+                            try:
+                                send_frame(peer, m.NodeDirectory(directory))
+                            except OSError:
+                                # One dead peer must not starve the rest
+                                # of the directory update.
+                                continue
                 elif isinstance(message, m.RegionRequest):
                     region = self.server.grant_region(message.node)
                     send_frame(conn, m.RegionGrant(

@@ -167,11 +167,18 @@ class NodeKernel:
 
     def node_stats(self, node: int) -> Dict[str, int]:
         if node == self.node_id:
-            return dict(self.stats)
+            return self._stats_snapshot()
         request_id, box = self._new_request()
         self.mesh.send(node, m.ControlMsg(request_id, self.node_id,
                                           -1, "stats", None))
         return self._await(box, request_id=request_id)
+
+    def _stats_snapshot(self) -> Dict[str, int]:
+        """Kernel counters plus the mesh's, as ``transport_*`` keys."""
+        snapshot = dict(self.stats)
+        for key, value in self.mesh.stats.items():
+            snapshot[f"transport_{key}"] = value
+        return snapshot
 
     def wait_reply(self, request_id: int,
                    timeout: Optional[float] = None) -> Any:
@@ -518,7 +525,7 @@ class NodeKernel:
     def _handle_control(self, message: m.ControlMsg) -> None:
         if message.op == "stats":
             self._reply(message.reply_to, message.request_id,
-                        dict(self.stats))
+                        self._stats_snapshot())
             return
         obj = self._resident_object(message.vaddr)
         if obj is None:

@@ -1,28 +1,48 @@
 """Length-framed pickle over TCP, plus the per-node connection mesh.
 
 Framing: 4-byte big-endian length, then the pickle.  Each node keeps one
-outgoing connection per peer (dialed lazily, kept forever) and accepts
-any number of incoming connections, each drained by a reader thread that
-hands decoded messages to a callback.  The first frame on a dialed
-connection is a :class:`~repro.runtime.messages.Hello`.
+outgoing connection per peer (dialed lazily) and accepts any number of
+incoming connections, each drained by a reader thread that hands decoded
+messages to a callback.  The first frame on a dialed connection is a
+:class:`~repro.runtime.messages.Hello`; a connection that opens with
+anything else is rejected and closed.
+
+Sends are retried: a broken connection is torn down and redialed with
+exponential backoff plus jitter, up to :data:`SEND_RETRIES` attempts, so
+a peer that restarts (same address) is transparently reconnected to.
+Errors retrying cannot fix — an unknown peer, an oversized or
+unpicklable frame — propagate immediately.
 """
 
 from __future__ import annotations
 
+import logging
 import pickle
+import random
 import socket
 import struct
 import threading
+import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import RuntimeTransportError
-from repro.runtime.messages import Hello
+from repro.runtime.messages import PROTOCOL_VERSION, Hello
+
+logger = logging.getLogger(__name__)
 
 _LENGTH = struct.Struct(">I")
 
 #: Ceiling on a single frame (a moved object group); prevents a corrupt
 #: length prefix from triggering a giant allocation.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Attempts beyond the first for one :meth:`Mesh.send`.
+SEND_RETRIES = 5
+#: First retry backoff; doubles per attempt, capped, plus up to 25% jitter.
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+#: Connect/handshake timeout for one dial attempt.
+DIAL_TIMEOUT_S = 10.0
 
 
 def send_frame(sock: socket.socket, payload: Any) -> None:
@@ -59,19 +79,34 @@ class Mesh:
 
     def __init__(self, node: int,
                  on_message: Callable[[int, Any], None],
-                 host: str = "127.0.0.1"):
+                 host: str = "127.0.0.1",
+                 port: int = 0):
         self.node = node
         self._on_message = on_message
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, 0))
+        self._listener.bind((host, port))
         self._listener.listen(64)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._peers: Dict[int, Tuple[str, int]] = {}
         self._out: Dict[int, socket.socket] = {}
-        self._out_locks: Dict[int, threading.Lock] = {}
+        #: Accepted inbound connections and their reader threads,
+        #: closed/joined with the mesh so the listening port is
+        #: actually released.
+        self._in: set = set()
+        self._readers: list = []
+        #: Per-peer lock serializing dial + handshake + frame writes, so
+        #: no data frame can beat the Hello onto a fresh connection.
+        self._peer_locks: Dict[int, threading.Lock] = {}
+        #: Peers we connected to at least once: a later dial is a reconnect.
+        self._connected_once: set = set()
         self._lock = threading.Lock()
         self._closing = threading.Event()
+        #: Jitter source; seeded per node so test runs are reproducible.
+        self._rng = random.Random(node)
+        self.stats: Dict[str, int] = {"sends": 0, "retries": 0,
+                                      "reconnects": 0,
+                                      "handshake_rejects": 0}
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"mesh-accept-{node}",
             daemon=True)
@@ -84,44 +119,88 @@ class Mesh:
             self._peers.update(addresses)
 
     def send(self, node: int, message: Any) -> None:
-        """Send one message to ``node`` (dialing on first use)."""
+        """Send one message to ``node``, dialing on first use and
+        redialing (with backoff) when the connection has broken."""
         if node == self.node:
             # Local delivery without touching the network.
             self._on_message(self.node, message)
             return
-        sock = self._connection_to(node)
-        lock = self._out_locks[node]
-        with lock:
+        lock = self._peer_lock(node)
+        attempt = 0
+        while True:
             try:
-                send_frame(sock, message)
+                with lock:
+                    sock = self._connection_locked(node)
+                    send_frame(sock, message)
+                with self._lock:
+                    self.stats["sends"] += 1
+                return
+            except (RuntimeTransportError, pickle.PicklingError,
+                    TypeError, AttributeError):
+                # Unknown peer, oversized or unpicklable frame: a retry
+                # cannot change the outcome.
+                raise
             except OSError as error:
+                self._invalidate(node)
                 if self._closing.is_set():
                     return
-                raise RuntimeTransportError(
-                    f"node {self.node}: send to node {node} failed: "
-                    f"{error}") from error
+                attempt += 1
+                if attempt > SEND_RETRIES:
+                    raise RuntimeTransportError(
+                        f"node {self.node}: send to node {node} failed "
+                        f"after {attempt} attempts: {error}") from error
+                with self._lock:
+                    self.stats["retries"] += 1
+                backoff = min(BACKOFF_BASE_S * 2 ** (attempt - 1),
+                              BACKOFF_CAP_S)
+                time.sleep(backoff * (1.0 + 0.25 * self._rng.random()))
 
-    def _connection_to(self, node: int) -> socket.socket:
+    def _peer_lock(self, node: int) -> threading.Lock:
+        with self._lock:
+            lock = self._peer_locks.get(node)
+            if lock is None:
+                lock = self._peer_locks[node] = threading.Lock()
+            return lock
+
+    def _connection_locked(self, node: int) -> socket.socket:
+        """The live connection to ``node``, dialing if needed.  Caller
+        holds the peer lock; the Hello handshake completes *before* the
+        socket is published, so no concurrent send can put a data frame
+        on the wire first."""
         with self._lock:
             sock = self._out.get(node)
-            if sock is not None:
-                return sock
             address = self._peers.get(node)
+        if sock is not None:
+            return sock
         if address is None:
             raise RuntimeTransportError(
                 f"node {self.node}: no address for node {node}")
-        sock = socket.create_connection(address, timeout=10)
-        sock.settimeout(None)
+        sock = socket.create_connection(address, timeout=DIAL_TIMEOUT_S)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            send_frame(sock, Hello(self.node))
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(None)
         with self._lock:
-            existing = self._out.get(node)
-            if existing is not None:
-                sock.close()
-                return existing
             self._out[node] = sock
-            self._out_locks[node] = threading.Lock()
-        send_frame(sock, Hello(self.node))
+            if node in self._connected_once:
+                self.stats["reconnects"] += 1
+            else:
+                self._connected_once.add(node)
         return sock
+
+    def _invalidate(self, node: int) -> None:
+        """Tear down a broken outgoing connection so the next send
+        redials."""
+        with self._lock:
+            sock = self._out.pop(node, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # -- inbound ---------------------------------------------------------
 
@@ -132,22 +211,45 @@ class Mesh:
             except OSError:
                 return
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            threading.Thread(target=self._reader_loop, args=(conn,),
-                             name=f"mesh-reader-{self.node}",
-                             daemon=True).start()
+            reader = threading.Thread(target=self._reader_loop,
+                                      args=(conn,),
+                                      name=f"mesh-reader-{self.node}",
+                                      daemon=True)
+            with self._lock:
+                self._in.add(conn)
+                self._readers.append(reader)
+            reader.start()
 
     def _reader_loop(self, conn: socket.socket) -> None:
-        peer: Optional[int] = None
         try:
-            hello = recv_frame(conn)
-            if isinstance(hello, Hello):
-                peer = hello.node
+            try:
+                hello = recv_frame(conn)
+            except (ConnectionError, OSError, EOFError,
+                    pickle.UnpicklingError):
+                return
+            if not isinstance(hello, Hello) or \
+                    hello.version != PROTOCOL_VERSION:
+                # A connection that does not open with a current-version
+                # Hello is not a mesh peer: drop it loudly rather than
+                # attributing its frames to a made-up node id.
+                with self._lock:
+                    self.stats["handshake_rejects"] += 1
+                logger.warning(
+                    "node %d: %s", self.node,
+                    RuntimeTransportError(
+                        f"rejected inbound connection: first frame was "
+                        f"{hello!r}, expected Hello(version="
+                        f"{PROTOCOL_VERSION})"))
+                return
+            peer = hello.node
             while True:
                 message = recv_frame(conn)
-                self._on_message(peer if peer is not None else -1, message)
+                self._on_message(peer, message)
         except (ConnectionError, OSError, EOFError):
             return
         finally:
+            with self._lock:
+                self._in.discard(conn)
             conn.close()
 
     # -- lifecycle ----------------------------------------------------------
@@ -155,13 +257,34 @@ class Mesh:
     def close(self) -> None:
         self._closing.set()
         try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
             self._listener.close()
         except OSError:
             pass
+        if self._accept_thread is not threading.current_thread():
+            self._accept_thread.join(timeout=1.0)
         with self._lock:
-            for sock in self._out.values():
+            for sock in list(self._out.values()) + list(self._in):
+                try:
+                    # shutdown (not just close) wakes any reader thread
+                    # blocked in recv, so the kernel socket is actually
+                    # released and the port is free for a restart.
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
                 try:
                     sock.close()
                 except OSError:
                     pass
             self._out.clear()
+            self._in.clear()
+            readers = list(self._readers)
+            self._readers.clear()
+        # A blocked recv holds the kernel socket until the thread
+        # returns; wait for the readers so a successor can rebind.
+        for reader in readers:
+            if reader is not threading.current_thread():
+                reader.join(timeout=1.0)

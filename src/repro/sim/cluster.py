@@ -9,6 +9,7 @@ from repro.core.address_space import AddressSpaceServer
 from repro.core.attachment import AttachmentGraph
 from repro.core.costs import CostModel
 from repro.errors import SimulationError
+from repro.faults.inject import FaultInjector
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.network import Ethernet
@@ -56,16 +57,27 @@ class SimCluster:
     """
 
     def __init__(self, config: ClusterConfig,
-                 costs: Optional[CostModel] = None):
+                 costs: Optional[CostModel] = None,
+                 faults=None):
         self.config = config
         self.costs = costs or CostModel.firefly()
         self.sim = Simulator()
         #: Always-on registry: the kernel and network feed it operation
         #: latency histograms, lock wait/hold times, queue occupancy.
         self.metrics = MetricsRegistry()
+        #: Optional repro.faults.plan.FaultPlan; crash/restart events are
+        #: scheduled by the kernel, message faults by the injector.
+        self.faults = faults
+        injector = None
+        if faults is not None:
+            injector = FaultInjector(
+                faults, self.metrics,
+                is_down=lambda node_id: self.nodes[node_id].down)
+        self.fault_injector = injector
         self.network = Ethernet(self.sim, self.costs,
                                 contended=config.contended_network,
-                                metrics=self.metrics)
+                                metrics=self.metrics,
+                                faults=injector)
         self.address_server = AddressSpaceServer()
         self.nodes: List[SimNode] = [
             SimNode(node_id, config.cpus_per_node, self.address_server)

@@ -56,6 +56,12 @@ from repro.sim.thread import Activation, SimThread, ThreadState
 #: Safety bound on forwarding-chain chasing for one request.
 MAX_CHASE_HOPS = 1000
 
+#: With faults enabled: bounded patience with an unreachable home node.
+#: Each probe re-runs a full reliable send (all retransmissions), spaced
+#: by the capped RTO — graceful degradation while the home is down, a
+#: clean ObjectNotFoundError once it is evidently never coming back.
+MAX_HOME_PROBES = 16
+
 
 class InvocationContext:
     """Passed as the first argument to every operation body."""
@@ -104,6 +110,8 @@ class AmberKernel:
         self._next_tid = 0
         self.threads: List[SimThread] = []
         cluster.kernel = self
+        if cluster.faults is not None:
+            self._schedule_fault_events(cluster.faults)
 
     # ------------------------------------------------------------------
     # Object management
@@ -176,6 +184,59 @@ class AmberKernel:
         return home
 
     # ------------------------------------------------------------------
+    # Fault injection: node crash and restart
+    # ------------------------------------------------------------------
+
+    def _schedule_fault_events(self, plan) -> None:
+        for crash in plan.crashes:
+            self.cluster.node(crash.node)  # validates the node id
+            self.sim.schedule_us(
+                crash.at_us, lambda c=crash: self._crash_node(c.node))
+            if crash.restart_us is not None:
+                self.sim.schedule_us(
+                    crash.restart_us,
+                    lambda c=crash: self._restart_node(c.node))
+
+    def _crash_node(self, node_id: int) -> None:
+        """Fail-stop ``node_id``: its network interface goes silent (the
+        injector drops its traffic) and no thread is dispatched here
+        until restart.  Preemptible user compute is interrupted exactly
+        as by the move protocol; a kernel protocol step already charging
+        runs to completion — its outbound messages are then dropped and
+        retried by the reliable layer."""
+        node = self.cluster.node(node_id)
+        if node.down:
+            return
+        node.down = True
+        self.metrics.inc("crashes")
+        self._trace("crash", node_id)
+        for cpu in node.cpus:
+            self._preempt_cpu(node, cpu)
+
+    def _restart_node(self, node_id: int) -> None:
+        """Bring a crashed node back.  Resident objects survive (the
+        node's heap is its stable storage), but volatile location hints
+        do not: every forwarding entry for an object *not homed here* is
+        dropped, so the first post-restart request routes via the home
+        node and re-caches a fresh chain (chain repair).  Entries for
+        locally homed objects model the persistent home-node map of
+        section 3.3 and are kept — the home must always know."""
+        node = self.cluster.node(node_id)
+        if not node.down:
+            return
+        node.down = False
+        stale = [vaddr for vaddr, descriptor in node.descriptors.items()
+                 if not descriptor.resident
+                 and self.cluster.home_node(vaddr) != node_id]
+        for vaddr in stale:
+            node.descriptors.clear(vaddr)
+        self.metrics.inc("recoveries")
+        if stale:
+            self.metrics.inc("hints_repaired", len(stale))
+        self._trace("restart", node_id, detail=f"{len(stale)} hints shed")
+        self._try_dispatch(node)
+
+    # ------------------------------------------------------------------
     # Thread lifecycle
     # ------------------------------------------------------------------
 
@@ -210,6 +271,8 @@ class AmberKernel:
         self._try_dispatch(node)
 
     def _try_dispatch(self, node: SimNode) -> None:
+        if node.down:
+            return
         while True:
             cpu = node.idle_cpu()
             if cpu is None or len(node.scheduler) == 0:
@@ -852,7 +915,7 @@ class AmberKernel:
 
         def transmit() -> None:
             total_bytes = sum(member.size_bytes for member in group)
-            self.net.send(node.id, dest, total_bytes, arrived)
+            self.net.send_reliable(node.id, dest, total_bytes, arrived)
 
         def arrived() -> None:
             self.sim.schedule_us(costs.object_install_us * len(group),
@@ -868,7 +931,8 @@ class AmberKernel:
             cluster.stats.object_moves += 1
             self._trace("move", dest, "", vaddr,
                         f"group of {len(group)} from node {node.id}")
-            self.net.send(dest, node.id, costs.control_bytes, acked)
+            self.net.send_reliable(dest, node.id, costs.control_bytes,
+                                   acked)
 
         def acked() -> None:
             self._after(mover, node, costs.move_complete_us, on_done)
@@ -897,8 +961,9 @@ class AmberKernel:
         def found(holder: SimNode) -> None:
             self._move_group_local(
                 None, holder, vaddr, dest,
-                lambda: self.net.send(holder.id, origin.id,
-                                      self.costs.control_bytes, resume))
+                lambda: self.net.send_reliable(holder.id, origin.id,
+                                               self.costs.control_bytes,
+                                               resume))
 
         def resume() -> None:
             self._charge(thread, self.costs.move_complete_us,
@@ -943,8 +1008,8 @@ class AmberKernel:
                     self._ready(target, dest, costs.thread_recv_cpu_us())
                 # NEW threads stay NEW (Start will queue them here);
                 # BLOCKED threads stay blocked and resume here when woken.
-            self.net.send(source.id, dest,
-                          costs.thread_packet_bytes, arrive)
+            self.net.send_reliable(source.id, dest,
+                                   costs.thread_packet_bytes, arrive)
             mover.send_value = None
             self._advance(mover)
 
@@ -966,8 +1031,9 @@ class AmberKernel:
             self._route_control(node, vaddr, found)
 
         def found(holder: SimNode) -> None:
-            self.net.send(holder.id, node.id, self.costs.control_bytes,
-                          lambda: deliver(holder.id))
+            self.net.send_reliable(holder.id, node.id,
+                                   self.costs.control_bytes,
+                                   lambda: deliver(holder.id))
 
         def deliver(where: int) -> None:
             self.metrics.observe("locate_us", self.sim.now_us - t0)
@@ -1062,14 +1128,14 @@ class AmberKernel:
         source = min(target._replica_nodes)
 
         def request_sent() -> None:
-            self.net.send(thread.location, source, costs.control_bytes,
-                          marshal)
+            self.net.send_reliable(thread.location, source,
+                                   costs.control_bytes, marshal)
 
         def marshal() -> None:
             self.sim.schedule_us(costs.object_marshal_us, transfer)
 
         def transfer() -> None:
-            self.net.send(source, dest, target.size_bytes, install)
+            self.net.send_reliable(source, dest, target.size_bytes, install)
 
         def install() -> None:
             self.sim.schedule_us(costs.object_install_us, installed)
@@ -1085,8 +1151,10 @@ class AmberKernel:
                 # The replica landed right here: no acknowledgement needed.
                 self._charge(thread, 0.0, on_done)
             else:
-                self.net.send(dest, thread.location, costs.control_bytes,
-                              lambda: self._charge(thread, 0.0, on_done))
+                self.net.send_reliable(dest, thread.location,
+                                       costs.control_bytes,
+                                       lambda: self._charge(thread, 0.0,
+                                                            on_done))
 
         if source == thread.location:
             # We hold a replica: marshal here and ship it.
@@ -1157,12 +1225,129 @@ class AmberKernel:
     def _send_thread(self, thread: SimThread, src: int, dst: int,
                      payload: int) -> None:
         nbytes = self.costs.thread_packet_bytes + payload
-        self.net.send(src, dst, nbytes,
-                      lambda: self._thread_arrival(thread, dst, payload))
+        self.net.send_reliable(
+            src, dst, nbytes,
+            lambda: self._thread_arrival(thread, dst, payload),
+            on_give_up=lambda: self._thread_send_failed(thread, src, dst,
+                                                        payload))
+
+    def _thread_send_failed(self, thread: SimThread, src: int, dst: int,
+                            payload: int) -> None:
+        """The reliable layer exhausted its retries migrating ``thread``
+        to ``dst``: that hop is dead.  Shed the stale hint that led
+        there and reroute via the object's home node — unless the dead
+        node is where the home itself points (or *is* the home), in
+        which case the object is behind the crash and all we can do is
+        probe on a slow timer until it restarts or the budget runs out."""
+        vaddr = thread.transit_target
+        home = self.cluster.home_node(vaddr)
+        source = self.cluster.node(src)
+        if dst != home and src != home:
+            descriptor = source.descriptors.lookup(vaddr)
+            if (descriptor is not None and not descriptor.resident
+                    and descriptor.forward_to == dst):
+                source.descriptors.clear(vaddr)
+                self.metrics.inc("hints_repaired")
+            self.metrics.inc("home_fallbacks")
+            self._trace("home-fallback", src, thread.name, vaddr,
+                        f"node {dst} unreachable; rerouting via home {home}")
+            self._send_thread(thread, src, home, payload)
+            return
+        thread.home_probes += 1
+        self.metrics.inc("home_probes")
+        if thread.home_probes > MAX_HOME_PROBES:
+            raise ObjectNotFoundError(
+                f"thread {thread.name} cannot reach object {vaddr:#x}: "
+                f"node {dst} stayed unreachable through "
+                f"{MAX_HOME_PROBES} probes")
+        self._trace("home-probe", src, thread.name, vaddr,
+                    f"probe {thread.home_probes} of node {dst}")
+        self.sim.schedule_us(
+            self._probe_interval_us(),
+            lambda: self._send_thread(thread, src, dst, payload))
+
+    def _probe_interval_us(self) -> float:
+        """Spacing between probes of an unreachable node: the retry
+        layer's backoff cap, so probes are strictly slower than the
+        in-protocol retransmissions that already failed."""
+        plan = self.cluster.faults
+        return plan.rto_cap_us if plan is not None else 1_000.0
+
+    def _chain_repair_locate(self, origin_id: int, vaddr: int,
+                             on_found, probes: int = 0) -> None:
+        """Broadcast locate of last resort (the Emerald lineage's
+        unreachable-object search).  A restart can shed a forwarding
+        link whose upstream hints still point into the broken chain,
+        leaving a cycle no amount of chasing escapes — e.g. the home's
+        stale hint aims at the restarted node, which knows nothing and
+        bounces requests back to the home.  When a chase detects such a
+        cycle, ask every node directly whether the object is resident
+        there and repair the chain from the answer.
+
+        If no node holds the object (it may be in transit, or behind a
+        crashed node that dropped the query), the broadcast is retried
+        on the probe timer up to :data:`MAX_HOME_PROBES` times before
+        the object is declared lost.  Queries go out in node-id order
+        and replies are collected by counting, so the broadcast is
+        deterministic."""
+        if self.cluster.node(origin_id).descriptors.is_resident(vaddr):
+            on_found(origin_id)  # arrived here while we were looping
+            return
+        self.metrics.inc("location_broadcasts")
+        self._trace("locate-broadcast", origin_id, "", vaddr,
+                    f"round {probes + 1}")
+        peers = [node for node in self.cluster.nodes
+                 if node.id != origin_id]
+        outstanding = [len(peers)]
+        found: List[int] = []
+
+        def finish() -> None:
+            if found:
+                on_found(min(found))
+                return
+            if probes >= MAX_HOME_PROBES:
+                raise ObjectNotFoundError(
+                    f"object {vaddr:#x} not resident on any node after "
+                    f"{MAX_HOME_PROBES} broadcast rounds: lost")
+            self.metrics.inc("home_probes")
+            self.sim.schedule_us(
+                self._probe_interval_us(),
+                lambda: self._chain_repair_locate(origin_id, vaddr,
+                                                  on_found, probes + 1))
+
+        def account() -> None:
+            outstanding[0] -= 1
+            if outstanding[0] == 0:
+                finish()
+
+        for peer in peers:
+            def query(peer=peer) -> None:
+                def check() -> None:
+                    if peer.descriptors.is_resident(vaddr):
+                        found.append(peer.id)
+                    self.net.send_reliable(peer.id, origin_id,
+                                           self.costs.control_bytes,
+                                           account, on_give_up=account)
+
+                self.net.send_reliable(origin_id, peer.id,
+                                       self.costs.control_bytes, check,
+                                       on_give_up=account)
+
+            query()
+
+    def _repair_hints(self, origin_id: int, vaddr: int,
+                      where: int) -> None:
+        """Point the origin's and the home's hints at the located
+        holder so the repaired chain is immediately usable."""
+        self.cluster.node(origin_id).descriptors.update_hint(vaddr, where)
+        home = self.cluster.home_node(vaddr)
+        self.cluster.node(home).descriptors.update_hint(vaddr, where)
+        self.metrics.inc("hints_repaired")
 
     def _thread_arrival(self, thread: SimThread, node_id: int,
                         payload: int) -> None:
         node = self.cluster.node(node_id)
+        thread.home_probes = 0
         thread.transit_path.append(node_id)
         vaddr = thread.transit_target
         if len(thread.transit_path) > MAX_CHASE_HOPS:
@@ -1190,6 +1375,20 @@ class AmberKernel:
         node.stats.forward_hops += 1
         self.cluster.stats.forwarding_hops_followed += 1
         next_node = self.believed_location(node, vaddr)
+        if thread.transit_path.count(next_node) >= 2:
+            # We have been to next_node before and come back: the chain
+            # is cyclic (a restart shed a link the remaining hints still
+            # route through).  Chasing cannot terminate; locate the
+            # object by broadcast and repair the chain.
+            def repaired(where: int) -> None:
+                self._repair_hints(node_id, vaddr, where)
+                thread.transit_path = [node_id]
+                self._send_thread(thread, node_id, where, payload)
+
+            self.sim.schedule_us(
+                self.costs.forward_hop_us,
+                lambda: self._chain_repair_locate(node_id, vaddr, repaired))
+            return
         self.sim.schedule_us(
             self.costs.forward_hop_us,
             lambda: self._send_thread(thread, node_id, next_node, payload))
@@ -1214,11 +1413,24 @@ class AmberKernel:
         the holder node.  Charges wire time per hop plus forwarding cost at
         intermediate nodes, and compresses the path when found."""
         path = _path if _path is not None else [origin.id]
-        next_node = self.believed_location(origin, vaddr)
         if len(path) > MAX_CHASE_HOPS:
             raise ObjectNotFoundError(
                 f"control message chased {vaddr:#x} beyond hop limit")
+        next_node = self.believed_location(origin, vaddr)
+        if path.count(next_node) >= 2:
+            # Cyclic chain (see _thread_arrival): broadcast-locate and
+            # restart the chase at the repaired location.
+            def repaired(where: int) -> None:
+                self._repair_hints(origin.id, vaddr, where)
+                self._route_control_hop(origin, vaddr, where, on_found,
+                                        [origin.id], 0)
 
+            self._chain_repair_locate(origin.id, vaddr, repaired)
+            return
+        self._route_control_hop(origin, vaddr, next_node, on_found, path, 0)
+
+    def _route_control_hop(self, origin, vaddr: int, next_node: int,
+                           on_found, path: List[int], probes: int) -> None:
         def delivered() -> None:
             node = self.cluster.node(next_node)
             path.append(next_node)
@@ -1236,8 +1448,47 @@ class AmberKernel:
                 self.costs.forward_hop_us,
                 lambda: self._route_control(node, vaddr, on_found, path))
 
-        self.net.send(origin.id, next_node, self.costs.control_bytes,
-                      delivered)
+        def give_up() -> None:
+            self._control_hop_failed(origin, vaddr, next_node, on_found,
+                                     path, probes)
+
+        self.net.send_reliable(origin.id, next_node,
+                               self.costs.control_bytes, delivered,
+                               on_give_up=give_up)
+
+    def _control_hop_failed(self, origin, vaddr: int, dead: int,
+                            on_found, path: List[int],
+                            probes: int) -> None:
+        """A control hop's destination is unreachable.  Mirror image of
+        :meth:`_thread_send_failed`: shed the stale hint and reroute via
+        the home node, or — when the object is behind the crash — probe
+        the dead node on a slow timer until it restarts or the probe
+        budget runs out."""
+        home = self.cluster.home_node(vaddr)
+        if dead != home and origin.id != home:
+            descriptor = origin.descriptors.lookup(vaddr)
+            if (descriptor is not None and not descriptor.resident
+                    and descriptor.forward_to == dead):
+                origin.descriptors.clear(vaddr)
+                self.metrics.inc("hints_repaired")
+            self.metrics.inc("home_fallbacks")
+            self._trace("home-fallback", origin.id, "", vaddr,
+                        f"node {dead} unreachable; rerouting via "
+                        f"home {home}")
+            self._route_control_hop(origin, vaddr, home, on_found, path, 0)
+            return
+        if probes >= MAX_HOME_PROBES:
+            raise ObjectNotFoundError(
+                f"control message cannot reach object {vaddr:#x}: node "
+                f"{dead} stayed unreachable through "
+                f"{MAX_HOME_PROBES} probes")
+        self.metrics.inc("home_probes")
+        self._trace("home-probe", origin.id, "", vaddr,
+                    f"probe {probes + 1} of node {dead}")
+        self.sim.schedule_us(
+            self._probe_interval_us(),
+            lambda: self._route_control_hop(origin, vaddr, dead, on_found,
+                                            path, probes + 1))
 
     # ------------------------------------------------------------------
 

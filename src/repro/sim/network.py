@@ -8,6 +8,14 @@ storms compete for the wire exactly as they did on the real segment.
 
 ``contended=False`` turns the medium into independent point-to-point links
 (useful for isolating protocol costs in tests and ablations).
+
+With a :class:`~repro.faults.inject.FaultInjector` attached, the
+reliable layer (:meth:`Ethernet.send_reliable`) consults it once per
+transmission attempt: dropped messages still occupy the wire but never
+arrive, duplicates arrive twice (and are suppressed by the delivery
+guard), delays postpone arrival.  Lost attempts are retransmitted on an
+exponential-backoff timer; a sender that exhausts every attempt calls
+its ``on_give_up`` hook — the kernel's cue for dead-node recovery.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.costs import CostModel
+from repro.errors import SimulationError
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 
@@ -28,6 +37,10 @@ class NetworkStats:
     busy_us: float = 0.0
     #: Total time messages spent queued behind other transmissions.
     queueing_us: float = 0.0
+    #: Fault-injection outcomes (nonzero only with an injector attached).
+    dropped: int = 0
+    duplicated: int = 0
+    retransmits: int = 0
 
     def utilization(self, elapsed_us: float) -> float:
         return self.busy_us / elapsed_us if elapsed_us > 0 else 0.0
@@ -38,13 +51,17 @@ class Ethernet:
 
     def __init__(self, sim: Simulator, costs: CostModel,
                  contended: bool = True,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 faults=None):
         self._sim = sim
         self._costs = costs
         self.contended = contended
         self._busy_until_ns = 0
         self.stats = NetworkStats()
         self._metrics = metrics
+        #: Optional repro.faults.inject.FaultInjector consulted by the
+        #: reliable layer, once per transmission attempt.
+        self.faults = faults
         #: Messages currently queued or on the wire (event-granularity
         #: occupancy; sampled into the ``net_inflight`` gauge per send).
         self._inflight = 0
@@ -54,6 +71,76 @@ class Ethernet:
         """Transmit ``nbytes`` from ``src`` to ``dst``; call ``deliver`` at
         the delivery time.  ``src``/``dst`` are node ids (kept for stats and
         future topology models; the shared medium ignores them)."""
+        self._transmit(src, dst, nbytes, deliver, 0.0)
+
+    def send_reliable(self, src: int, dst: int, nbytes: int,
+                      deliver: Callable[[], None],
+                      on_give_up: Optional[Callable[[], None]] = None,
+                      max_attempts: Optional[int] = None) -> None:
+        """Deliver exactly once despite injected faults.
+
+        Without an injector this is exactly :meth:`send` (no extra
+        events, no behavioral change).  With one, each attempt may be
+        dropped, duplicated, or delayed; undelivered attempts are
+        retransmitted after an exponentially backed-off timeout.  After
+        ``max_attempts`` transmissions the sender gives up: it calls
+        ``on_give_up`` (the kernel's dead-node recovery hook) or, with
+        none installed, raises :class:`SimulationError` out of the
+        simulation — an unreachable destination with no recovery path is
+        a scenario bug, not a hang.
+        """
+        faults = self.faults
+        if faults is None:
+            self._transmit(src, dst, nbytes, deliver, 0.0)
+            return
+        attempts = max_attempts if max_attempts is not None \
+            else faults.max_attempts
+        done = [False]
+
+        def delivered() -> None:
+            if done[0]:
+                return  # duplicate or late retransmission: suppressed
+            done[0] = True
+            deliver()
+
+        def attempt(k: int) -> None:
+            decision = faults.decide(src, dst, self._sim.now_us)
+            if decision.drop:
+                self.stats.dropped += 1
+                self._transmit(src, dst, nbytes, None, 0.0)
+            else:
+                self._transmit(src, dst, nbytes, delivered,
+                               decision.extra_delay_us)
+                if decision.duplicate:
+                    self.stats.duplicated += 1
+                    self._transmit(src, dst, nbytes, delivered,
+                                   decision.extra_delay_us
+                                   + self._costs.net_latency_us)
+
+            def check() -> None:
+                if done[0]:
+                    return
+                if k >= attempts:
+                    faults.count_give_up()
+                    if on_give_up is not None:
+                        on_give_up()
+                        return
+                    raise SimulationError(
+                        f"message {src} -> {dst} undeliverable after "
+                        f"{k} attempts and no recovery handler")
+                self.stats.retransmits += 1
+                faults.count_retry()
+                attempt(k + 1)
+
+            self._sim.schedule_us(faults.rto_us(k), check)
+
+        attempt(1)
+
+    def _transmit(self, src: int, dst: int, nbytes: int,
+                  deliver: Optional[Callable[[], None]],
+                  extra_delay_us: float) -> None:
+        """One wire transmission.  ``deliver=None`` models a message lost
+        in flight: it occupies the medium but nothing arrives."""
         sim = self._sim
         costs = self._costs
         occupancy_us = nbytes * costs.per_byte_us
@@ -71,7 +158,13 @@ class Ethernet:
         self.stats.messages += 1
         self.stats.bytes += nbytes
         self.stats.busy_us += occupancy_us
-        delivery_ns = end_ns + round(costs.net_latency_us * 1000)
+        if deliver is None:
+            if self._metrics is not None:
+                self._metrics.observe("net_queue_us", queued_us)
+                self._metrics.observe("net_msg_bytes", nbytes)
+            return
+        delivery_ns = (end_ns + round(costs.net_latency_us * 1000)
+                       + round(extra_delay_us * 1000))
         if self._metrics is not None:
             self._metrics.observe("net_queue_us", queued_us)
             self._metrics.observe("net_msg_bytes", nbytes)

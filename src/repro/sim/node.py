@@ -50,6 +50,9 @@ class SimNode:
         self.descriptors = DescriptorTable(node_id)
         self.heap = NodeHeap(node_id, server)
         self.stats = NodeStats(node_id, ncpus)
+        #: Crashed (fault injection): the network drops the node's
+        #: traffic and the kernel dispatches nothing here until restart.
+        self.down = False
 
     def idle_cpu(self) -> Optional[Cpu]:
         for cpu in self.cpus:

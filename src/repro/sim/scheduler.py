@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional
 
 from repro.sim.thread import SimThread
 
@@ -96,34 +96,53 @@ class LifoScheduler(Scheduler):
 
 
 class PriorityScheduler(Scheduler):
-    """Highest ``thread.priority`` first; FIFO among equals."""
+    """Highest ``thread.priority`` first; FIFO among equals.
+
+    Lazy deletion is done per heap *entry*, not per thread: each entry
+    carries its own alive flag, and ``_live`` maps a queued thread to its
+    single live entry.  A shared per-thread tombstone set is not enough —
+    remove-then-re-enqueue would discard the tombstone while the dead
+    entry still sits in the heap, and ``dequeue`` would then hand out the
+    same thread twice (double dispatch onto two CPUs).
+    """
+
+    #: Entry layout: [neg_priority, seq, thread, alive].
+    _ALIVE = 3
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, SimThread]] = []
+        self._heap: List[list] = []
         self._seq = 0
-        self._removed: set = set()
+        #: id(thread) -> its one live heap entry.
+        self._live: dict = {}
 
     def enqueue(self, thread: SimThread) -> None:
-        self._removed.discard(id(thread))
-        heapq.heappush(self._heap, (-thread.priority, self._seq, thread))
+        stale = self._live.get(id(thread))
+        if stale is not None:
+            # Re-enqueued while a live entry exists (priority change):
+            # kill the old entry so only one can ever be dispatched.
+            stale[self._ALIVE] = False
+        entry = [-thread.priority, self._seq, thread, True]
         self._seq += 1
+        self._live[id(thread)] = entry
+        heapq.heappush(self._heap, entry)
 
     def dequeue(self) -> Optional[SimThread]:
         while self._heap:
-            _, _, thread = heapq.heappop(self._heap)
-            if id(thread) in self._removed:
-                self._removed.discard(id(thread))
+            entry = heapq.heappop(self._heap)
+            if not entry[self._ALIVE]:
                 continue
+            thread = entry[2]
+            entry[self._ALIVE] = False
+            del self._live[id(thread)]
             return thread
         return None
 
     def remove(self, thread: SimThread) -> bool:
-        if any(entry[2] is thread and id(thread) not in self._removed
-               for entry in self._heap):
-            self._removed.add(id(thread))
-            return True
-        return False
+        entry = self._live.pop(id(thread), None)
+        if entry is None:
+            return False
+        entry[self._ALIVE] = False
+        return True
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap
-                   if id(entry[2]) not in self._removed)
+        return len(self._live)

@@ -100,6 +100,9 @@ class SimThread(SimObject):
         self.on_arrival: Any = None
         #: Departure time of the in-flight migration (latency histogram).
         self.transit_start_us: float = 0.0
+        #: Consecutive probes of an unreachable node (dead-node recovery);
+        #: reset on every successful arrival.
+        self.home_probes: int = 0
 
         # --- invocation latency bookkeeping ------------------------------
         #: Kernel-entry time / residency of the invocation being set up

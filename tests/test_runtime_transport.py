@@ -132,3 +132,130 @@ class TestMesh:
         finally:
             mesh_a.close()
             mesh_b.close()
+
+
+class TestMeshHandshake:
+    def test_hello_precedes_data_under_concurrent_sends(self):
+        """Regression: the dialer used to publish the socket before
+        sending Hello, so a concurrent send() could put a data frame on
+        the wire first and the receiver would misattribute the whole
+        connection.  Hammer a fresh dial from many threads: every
+        message must arrive attributed to the true peer."""
+        for _ in range(5):
+            inbox = queue.SimpleQueue()
+            mesh_a = Mesh(3, lambda peer, msg: None)
+            mesh_b = Mesh(1, lambda peer, msg: inbox.put((peer, msg)))
+            try:
+                directory = {3: mesh_a.address, 1: mesh_b.address}
+                mesh_a.set_directory(directory)
+                mesh_b.set_directory(directory)
+                barrier = threading.Barrier(8)
+
+                def blast(tag):
+                    barrier.wait()
+                    for j in range(10):
+                        mesh_a.send(1, (tag, j))
+
+                threads = [threading.Thread(target=blast, args=(i,))
+                           for i in range(8)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                for _ in range(80):
+                    peer, _ = inbox.get(timeout=5)
+                    assert peer == 3
+            finally:
+                mesh_a.close()
+                mesh_b.close()
+
+    def test_non_hello_first_frame_rejected(self):
+        """Regression: a connection whose first frame is not a Hello
+        used to be kept open with its messages attributed to peer -1;
+        now it is rejected and closed."""
+        inbox = queue.SimpleQueue()
+        mesh = Mesh(0, lambda peer, msg: inbox.put((peer, msg)))
+        try:
+            raw = socket.create_connection(mesh.address, timeout=5)
+            send_frame(raw, ResultMsg(1, True, "sneaky"))
+            send_frame(raw, ResultMsg(2, True, "more"))
+            # The mesh must close the connection (EOF, or RST if our
+            # second frame was still unread)...
+            raw.settimeout(5)
+            try:
+                assert raw.recv(1) == b""
+            except ConnectionError:
+                pass
+            raw.close()
+            # ...deliver nothing from it, and count the reject.
+            with pytest.raises(queue.Empty):
+                inbox.get(timeout=0.2)
+            assert mesh.stats["handshake_rejects"] == 1
+        finally:
+            mesh.close()
+
+    def test_version_mismatch_rejected(self):
+        inbox = queue.SimpleQueue()
+        mesh = Mesh(0, lambda peer, msg: inbox.put((peer, msg)))
+        try:
+            raw = socket.create_connection(mesh.address, timeout=5)
+            send_frame(raw, Hello(9, version=999))
+            raw.settimeout(5)
+            try:
+                assert raw.recv(1) == b""
+            except ConnectionError:
+                pass
+            raw.close()
+            assert mesh.stats["handshake_rejects"] == 1
+        finally:
+            mesh.close()
+
+
+class TestMeshReconnect:
+    def test_send_redials_after_peer_restart(self):
+        """A peer that dies and comes back on the same address is
+        transparently redialed by the retry loop."""
+        inbox = queue.SimpleQueue()
+        mesh_a = Mesh(0, lambda peer, msg: None)
+        mesh_b = Mesh(1, lambda peer, msg: inbox.put((peer, msg)))
+        port = mesh_b.address[1]
+        directory = {0: mesh_a.address, 1: mesh_b.address}
+        mesh_a.set_directory(directory)
+        try:
+            mesh_a.send(1, "before")
+            assert inbox.get(timeout=5) == (0, "before")
+            mesh_b.close()
+            mesh_b = Mesh(1, lambda peer, msg: inbox.put((peer, msg)),
+                          port=port)
+            # Early sends may vanish into the dead socket's buffer (TCP
+            # cannot flag that); keep sending — the retry loop must
+            # invalidate, redial, and start delivering.
+            delivered = None
+            for i in range(40):
+                mesh_a.send(1, f"after-{i}")
+                try:
+                    delivered = inbox.get(timeout=0.25)
+                    break
+                except queue.Empty:
+                    continue
+            assert delivered is not None
+            assert delivered[0] == 0
+            assert mesh_a.stats["reconnects"] >= 1
+        finally:
+            mesh_a.close()
+            mesh_b.close()
+
+    def test_send_fails_cleanly_when_peer_stays_dead(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.transport.SEND_RETRIES", 2)
+        monkeypatch.setattr("repro.runtime.transport.BACKOFF_BASE_S", 0.01)
+        mesh_b = Mesh(1, lambda peer, msg: None)
+        dead_address = mesh_b.address
+        mesh_b.close()
+        mesh_a = Mesh(0, lambda peer, msg: None)
+        mesh_a.set_directory({1: dead_address})
+        try:
+            with pytest.raises(RuntimeTransportError):
+                mesh_a.send(1, "into the void")
+            assert mesh_a.stats["retries"] == 2
+        finally:
+            mesh_a.close()

@@ -88,6 +88,41 @@ class TestSchedulerObjects:
         assert scheduler.drain() == threads
         assert len(scheduler) == 0
 
+    def test_priority_remove_then_reenqueue_no_double_dispatch(self):
+        """Regression: remove() used to tombstone by thread id and
+        enqueue() to discard the tombstone, leaving the removed heap
+        entry live — dequeue() then returned the same thread twice
+        (double dispatch onto two CPUs)."""
+        scheduler = PriorityScheduler()
+        thread = SimThread(0, name="t", priority=5)
+        scheduler.enqueue(thread)
+        assert scheduler.remove(thread)
+        scheduler.enqueue(thread)
+        assert len(scheduler) == 1
+        assert scheduler.dequeue() is thread
+        assert scheduler.dequeue() is None
+        assert len(scheduler) == 0
+
+    def test_priority_reenqueue_while_queued_keeps_one_entry(self):
+        """Enqueueing an already-queued thread (priority change) must
+        not create a second dispatchable entry."""
+        scheduler = PriorityScheduler()
+        thread, other = SimThread(0, priority=1), SimThread(1, priority=0)
+        scheduler.enqueue(thread)
+        scheduler.enqueue(other)
+        scheduler.enqueue(thread)      # re-enqueue without remove
+        assert len(scheduler) == 2
+        out = [scheduler.dequeue(), scheduler.dequeue()]
+        assert out == [thread, other]
+        assert scheduler.dequeue() is None
+
+    def test_priority_remove_after_dequeue_is_false(self):
+        scheduler = PriorityScheduler()
+        thread = SimThread(0, priority=3)
+        scheduler.enqueue(thread)
+        assert scheduler.dequeue() is thread
+        assert not scheduler.remove(thread)
+
 
 class Recorder(SimObject):
     def __init__(self):
