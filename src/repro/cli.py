@@ -15,6 +15,8 @@
     python -m repro faults [--fast] [--seed N]
                                               # fault injection & recovery
                                               # report (see docs/FAULTS.md)
+    python -m repro faults --recover [--fast] # permanent-crash recovery
+                                              # report (docs/RECOVERY.md)
 
 Every artifact accepts ``--metrics-json PATH`` to dump the run's metrics
 registry (operation-latency histograms with p50/p90/p99, counters,
@@ -116,9 +118,12 @@ def _cmd_profile(args) -> int:
 def _cmd_faults(args) -> int:
     import json
 
-    from repro.faults.scenario import run_fault_scenarios
-
-    report = run_fault_scenarios(seed=args.seed, fast=args.fast)
+    if args.recover:
+        from repro.recovery.scenario import run_recovery_scenarios
+        report = run_recovery_scenarios(seed=args.seed, fast=args.fast)
+    else:
+        from repro.faults.scenario import run_fault_scenarios
+        report = run_fault_scenarios(seed=args.seed, fast=args.fast)
     print(report.render())
     if args.metrics_json:
         with open(args.metrics_json, "w") as handle:
@@ -171,6 +176,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="smaller workloads (quick look / CI smoke)")
     fp.add_argument("--seed", type=int, default=0,
                     help="fault plan seed (default: 0)")
+    fp.add_argument("--recover", action="store_true",
+                    help="run the crash-recovery scenarios instead: "
+                         "permanent node death survived via checkpoint "
+                         "promotion and thread resurrection (see "
+                         "docs/RECOVERY.md)")
     fp.add_argument("--metrics-json", metavar="PATH", default=None,
                     help="dump the recovery report (verdicts + fault "
                          "counters) as JSON")

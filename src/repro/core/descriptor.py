@@ -44,6 +44,11 @@ class Descriptor:
     state: DescriptorState
     #: Last known location when FORWARDED; meaningless when RESIDENT.
     forward_to: Optional[int] = None
+    #: Node holding this object's checkpoint epochs (crash recovery);
+    #: ``None`` when no backup has been assigned from here.
+    backup_node: Optional[int] = None
+    #: Latest checkpoint epoch shipped (or promoted) from this node.
+    epoch: int = 0
 
     @property
     def resident(self) -> bool:
@@ -92,6 +97,18 @@ class DescriptorTable:
             return
         self._table[address] = Descriptor(DescriptorState.FORWARDED,
                                           forward_to)
+
+    def set_backup(self, address: int, backup_node: Optional[int],
+                   epoch: int) -> None:
+        """Record where ``address``'s latest checkpoint epoch was shipped
+        (crash recovery).  Creates a RESIDENT descriptor if none exists —
+        only the node currently holding an object checkpoints it."""
+        descriptor = self._table.get(address)
+        if descriptor is None:
+            descriptor = Descriptor(DescriptorState.RESIDENT)
+            self._table[address] = descriptor
+        descriptor.backup_node = backup_node
+        descriptor.epoch = epoch
 
     def clear(self, address: int) -> None:
         """Drop the descriptor (object deleted; page returns to zero-fill)."""

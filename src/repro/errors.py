@@ -64,6 +64,16 @@ class DeadlockError(SimulationError):
     """The simulation cannot make progress but live threads remain."""
 
 
+class NodeFailure(AmberError):
+    """A node died and took unrecoverable state down with it.
+
+    Raised into ``Join`` (and delivered to waiting callers) when a thread
+    was lost with a confirmed-dead node and no checkpointed state exists
+    to replay its work against — the typed alternative to hanging
+    forever on a peer that will never answer.
+    """
+
+
 class RuntimeTransportError(AmberError):
     """Failure in the live runtime's socket transport."""
 

@@ -51,6 +51,19 @@ COUNTER_NAMES = (
     "hints_repaired",
     "home_fallbacks",
     "home_probes",
+    # Crash-recovery counters (repro.recovery); zero unless a
+    # RecoveryConfig is attached to the run.
+    "heartbeats_sent",
+    "node_suspected",
+    "node_confirmed_dead",
+    "node_rejoined",
+    "checkpoints_shipped",
+    "checkpoints_lost",
+    "objects_recovered",
+    "objects_lost",
+    "threads_lost",
+    "invocations_replayed",
+    "invocations_suppressed",
 )
 
 

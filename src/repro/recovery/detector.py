@@ -1,0 +1,111 @@
+"""Heartbeat failure detection for the simulated cluster.
+
+Every ``heartbeat_interval_us`` each live node multicasts a small
+heartbeat to every reachable peer.  The detector aggregates receptions:
+a node unheard-from for ``grace_us`` is *suspected*; one silent for
+``confirm_us`` is *confirmed dead*, which hands control to the kernel's
+promotion/resurrection machinery.  A heartbeat from a suspected or
+confirmed node (it restarted) rescinds the verdict as a *rejoin*.
+
+Determinism: heartbeats ride the shared wire through plain
+:meth:`~repro.sim.network.Ethernet.send` — they occupy the medium like
+any message but never consult the seeded fault injector, so attaching a
+detector does not perturb the fault stream of the rest of the run.
+Crash and partition silence is applied explicitly (and
+randomness-free): a down node sends nothing, a severed pair exchanges
+nothing.
+
+The heartbeat timer terminates with the program (once the main thread
+is done it stops rescheduling), so the event queue still drains.
+
+Events emitted into the obs layer: ``node_suspected``,
+``node_confirmed_dead`` (with the ``detection_latency_us`` histogram —
+confirmation time minus the actual crash instant) and
+``node_rejoined``; counters of the same names aggregate per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class HeartbeatDetector:
+    """Kernel-driven heartbeat/suspicion service (one per simulation)."""
+
+    def __init__(self, kernel, config):
+        self.kernel = kernel
+        self.config = config
+        self.last_heard: Dict[int, float] = {
+            node.id: 0.0 for node in kernel.cluster.nodes}
+        self.suspected: Set[int] = set()
+        self.confirmed: Set[int] = set()
+
+    def start(self) -> None:
+        self.kernel.sim.schedule_us(self.config.heartbeat_interval_us,
+                                    self._tick)
+
+    # -- internals -----------------------------------------------------
+
+    def _finished(self) -> bool:
+        threads = self.kernel.threads
+        return bool(threads) and threads[0].done
+
+    def _tick(self) -> None:
+        if self._finished():
+            return
+        kernel = self.kernel
+        cluster = kernel.cluster
+        now = kernel.sim.now_us
+        plan = cluster.faults
+        for src in cluster.nodes:
+            if src.down:
+                continue
+            kernel.metrics.inc("heartbeats_sent")
+            for dst in cluster.nodes:
+                if dst.id == src.id or dst.down:
+                    continue
+                if plan is not None and plan.partitioned(src.id, dst.id,
+                                                         now):
+                    continue
+                kernel.net.send(src.id, dst.id,
+                                self.config.heartbeat_bytes,
+                                lambda s=src.id: self._heard(s))
+        self._check(now)
+        kernel.sim.schedule_us(self.config.heartbeat_interval_us,
+                               self._tick)
+
+    def _heard(self, node_id: int) -> None:
+        self.last_heard[node_id] = self.kernel.sim.now_us
+        if node_id in self.suspected or node_id in self.confirmed:
+            self.suspected.discard(node_id)
+            self.confirmed.discard(node_id)
+            self.kernel.metrics.inc("node_rejoined")
+            self.kernel._trace("node_rejoined", node_id,
+                               detail="heartbeat resumed")
+
+    def _check(self, now: float) -> None:
+        kernel = self.kernel
+        for node in kernel.cluster.nodes:
+            node_id = node.id
+            if node_id in self.confirmed:
+                continue
+            silence = now - self.last_heard[node_id]
+            if silence >= self.config.confirm_us:
+                self.suspected.discard(node_id)
+                self.confirmed.add(node_id)
+                crashed_at = kernel._crash_times.get(
+                    node_id, self.last_heard[node_id])
+                latency = now - crashed_at
+                kernel.metrics.inc("node_confirmed_dead")
+                kernel.metrics.observe("detection_latency_us", latency)
+                kernel._trace(
+                    "node_confirmed_dead", node_id,
+                    detail=f"silent {silence:.0f} us; "
+                           f"detection latency {latency:.0f} us")
+                kernel._on_node_confirmed_dead(node_id)
+            elif silence >= self.config.grace_us and \
+                    node_id not in self.suspected:
+                self.suspected.add(node_id)
+                kernel.metrics.inc("node_suspected")
+                kernel._trace("node_suspected", node_id,
+                              detail=f"silent {silence:.0f} us")

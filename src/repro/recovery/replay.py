@@ -1,0 +1,59 @@
+"""Caller-side invocation log for orphan-thread resurrection.
+
+Every time a thread migrates out to invoke a remote object, the kernel
+pushes a :class:`ReplayEntry` on the thread's ``resurrect_stack``: who
+launched the invocation (the caller node), what it targets, and a
+cluster-unique ``(caller node, thread id, sequence)`` id.  If the callee
+node is later confirmed dead, the innermost entry whose origin is still
+alive is re-launched from the caller — the orphan thread is resurrected
+exactly where its last recoverable invocation began.
+
+At-most-once discipline hangs off the same id: the entry is *marked*
+completed when the invocation returns, but only *popped* once the thread
+is safely back with its caller.  A thread that dies between completing
+an invocation and delivering the result therefore still has the entry —
+and because its un-flushed write-through checkpoint dies with it, the
+object state it would be replayed against has rolled back to exactly
+the pre-invocation epoch: re-execution is consistent, not a
+double-apply.  Replays that *do* race a surviving completion are
+suppressed by the completion log the object carries in its snapshots
+(see :mod:`repro.recovery.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+@dataclass
+class ReplayEntry:
+    """One migrating invocation, as remembered by its caller."""
+
+    #: ``(anchor node, thread id, per-thread sequence)`` — globally
+    #: unique and stable across replays.  The anchor is the origin of the
+    #: thread's *outermost* live entry (its own departure node for root
+    #: entries): a nested invocation re-issued during replay departs from
+    #: the promoted object's new node, and keying on the physical
+    #: departure node would miss the completion logged under the original
+    #: id.  Resurrection also resets the thread's sequence counter to
+    #: ``seq`` so re-executed nested invocations regenerate identical
+    #: ids, which is what makes dedup work.
+    id: Tuple[int, int, int]
+    #: Node the invocation departed from (where replay restarts).
+    origin: int
+    #: Target object's virtual address.
+    target: int
+    #: The original ``Invoke`` request (re-sent verbatim on replay).
+    request: Any
+    #: Marshalled argument bytes (migration payload of the re-send).
+    payload: int
+    #: ``len(thread.stack)`` at departure: the caller frames to keep.
+    depth: int
+    #: Whether this is the thread's root (body) invocation.
+    is_root: bool
+    #: The thread's ``invoke_seq`` when the entry was created.
+    seq: int
+    #: Set when the invocation returned; the entry is popped only once
+    #: the thread is back at its caller (see module docstring).
+    completed: bool = False

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.address_space import DEFAULT_REGION_BYTES
 from repro.errors import ClusterError
 from repro.obs.metrics import MetricsRegistry
+from repro.recovery.config import peer_timeout_s
 from repro.runtime.coordinator import Coordinator, CoordinatorClient
 from repro.runtime.handles import Handle
 from repro.runtime.kernel import NodeKernel, ThreadHandle
@@ -33,9 +34,13 @@ class Cluster:
 
     def __init__(self, nodes: int = 2,
                  region_bytes: int = DEFAULT_REGION_BYTES,
-                 start_timeout: float = 30.0):
+                 start_timeout: Optional[float] = None):
         if nodes < 1:
             raise ClusterError("a cluster needs at least one node")
+        if start_timeout is None:
+            # REPRO_PEER_TIMEOUT_S scales every peer-wait in the live
+            # runtime (see repro.recovery.config).
+            start_timeout = peer_timeout_s()
         self.num_nodes = nodes
         self._coordinator = Coordinator(nodes, region_bytes)
         context = multiprocessing.get_context("fork")
@@ -51,6 +56,7 @@ class Cluster:
                                          region_bytes)
         self.kernel = NodeKernel(0, self._client)
         self._client.register(0, self.kernel.mesh.address)
+        self._client.start_heartbeats(0)
         directory = self._client.wait_directory(timeout=start_timeout)
         self.kernel.mesh.set_directory(directory)
         self._alive = True
@@ -106,6 +112,13 @@ class Cluster:
         """Kernel counters of one node (invocations, forwards, moves...)."""
         self._check_node(node)
         return self.kernel.node_stats(node)
+
+    def failed_peers(self) -> set:
+        """Nodes the coordinator's failure detector currently suspects
+        dead (heartbeat silence past the grace window).  Detection only:
+        invocations routed at a suspect node still time out rather than
+        recover — see docs/RECOVERY.md for the simulator's full story."""
+        return self._client.failed_peers()
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -7,6 +7,13 @@ answering "who owns the region containing this address?" queries (the
 home-node derivation of section 3.3).  It also brokers startup — nodes
 register their mesh addresses and receive the full directory once
 everyone has arrived — and fans out shutdown.
+
+It is additionally the live runtime's *failure detector*: every node
+heartbeats over its coordinator connection, and a monitor thread
+broadcasts :class:`~repro.runtime.messages.PeerStatus` verdicts when a
+node falls silent past the grace window (``REPRO_PEER_TIMEOUT_S / 10``)
+or comes back.  Detection only — recovery of a dead node's objects is
+implemented in the deterministic simulator (``docs/RECOVERY.md``).
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.core.address_space import (
@@ -22,6 +30,7 @@ from repro.core.address_space import (
     Region,
 )
 from repro.errors import AddressSpaceError, ClusterError
+from repro.recovery.config import heartbeat_grace_s, peer_timeout_s
 from repro.runtime import messages as m
 from repro.runtime.transport import recv_frame, send_frame
 
@@ -31,9 +40,12 @@ class Coordinator:
 
     def __init__(self, expected_nodes: int,
                  region_bytes: int = DEFAULT_REGION_BYTES,
-                 host: str = "127.0.0.1"):
+                 host: str = "127.0.0.1",
+                 grace_s: Optional[float] = None):
         self.expected_nodes = expected_nodes
         self.server = AddressSpaceServer(region_bytes)
+        #: Heartbeat silence tolerated before a node is declared suspect.
+        self.grace_s = heartbeat_grace_s() if grace_s is None else grace_s
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, 0))
@@ -42,9 +54,19 @@ class Coordinator:
         self._lock = threading.Lock()
         self._registered: Dict[int, Tuple[str, int]] = {}
         self._connections: Dict[int, socket.socket] = {}
+        #: node -> wall clock of its last heartbeat; only nodes that
+        #: have heartbeated at least once are monitored.
+        self._last_heard: Dict[int, float] = {}
+        self._suspected: set = set()
+        #: Serializes all outbound frames: replies come from per-node
+        #: serve threads, verdicts from the monitor thread — interleaved
+        #: writes to one socket would corrupt the framing.
+        self._send_guard = threading.Lock()
         self._closing = threading.Event()
         threading.Thread(target=self._accept_loop, daemon=True,
                          name="coordinator-accept").start()
+        threading.Thread(target=self._monitor_loop, daemon=True,
+                         name="coordinator-monitor").start()
 
     def _accept_loop(self) -> None:
         while not self._closing.is_set():
@@ -82,38 +104,84 @@ class Coordinator:
                         # so survivors learn the replacement address.
                         for peer in connections:
                             try:
-                                send_frame(peer, m.NodeDirectory(directory))
+                                with self._send_guard:
+                                    send_frame(peer,
+                                               m.NodeDirectory(directory))
                             except OSError:
                                 # One dead peer must not starve the rest
                                 # of the directory update.
                                 continue
+                elif isinstance(message, m.Heartbeat):
+                    self._heard(message.node)
                 elif isinstance(message, m.RegionRequest):
                     region = self.server.grant_region(message.node)
-                    send_frame(conn, m.RegionGrant(
-                        message.request_id, region.base, region.size,
-                        region.owner_node))
+                    with self._send_guard:
+                        send_frame(conn, m.RegionGrant(
+                            message.request_id, region.base, region.size,
+                            region.owner_node))
                 elif isinstance(message, m.RegionQuery):
                     try:
                         region = self.server.region_for(message.address)
-                        send_frame(conn, m.RegionAnswer(
+                        answer = m.RegionAnswer(
                             message.request_id, region.base, region.size,
-                            region.owner_node))
+                            region.owner_node)
                     except AddressSpaceError:
-                        send_frame(conn, m.RegionAnswer(
-                            message.request_id, 0, 0, -1))
+                        answer = m.RegionAnswer(message.request_id,
+                                                0, 0, -1)
+                    with self._send_guard:
+                        send_frame(conn, answer)
         except (ConnectionError, OSError, EOFError):
             return
         finally:
             conn.close()
 
-    def broadcast_shutdown(self) -> None:
+    # -- failure detection ------------------------------------------------
+
+    def _heard(self, node: int) -> None:
+        with self._lock:
+            self._last_heard[node] = time.monotonic()
+            rejoined = node in self._suspected
+            if rejoined:
+                self._suspected.discard(node)
+        if rejoined:
+            self._broadcast(m.PeerStatus(node, alive=True))
+
+    def _monitor_loop(self) -> None:
+        """Declare suspect any heartbeating node silent past the grace
+        window; retraction happens in :meth:`_heard`."""
+        interval = max(self.grace_s / 4.0, 0.01)
+        while not self._closing.wait(interval):
+            now = time.monotonic()
+            verdicts = []
+            with self._lock:
+                for node, last in self._last_heard.items():
+                    silence = now - last
+                    if silence > self.grace_s \
+                            and node not in self._suspected:
+                        self._suspected.add(node)
+                        verdicts.append(
+                            m.PeerStatus(node, alive=False,
+                                         silence_s=silence))
+            for verdict in verdicts:
+                self._broadcast(verdict)
+
+    def suspected_nodes(self) -> set:
+        """Current verdicts (for tests and the driver)."""
+        with self._lock:
+            return set(self._suspected)
+
+    def _broadcast(self, message) -> None:
         with self._lock:
             connections = list(self._connections.values())
         for conn in connections:
             try:
-                send_frame(conn, m.Shutdown())
+                with self._send_guard:
+                    send_frame(conn, message)
             except OSError:
-                pass
+                continue
+
+    def broadcast_shutdown(self) -> None:
+        self._broadcast(m.Shutdown())
 
     def close(self) -> None:
         self._closing.set()
@@ -139,6 +207,11 @@ class CoordinatorClient:
         self._request_lock = threading.Lock()
         self._directory: "queue.SimpleQueue" = queue.SimpleQueue()
         self.shutdown_event = threading.Event()
+        #: node -> last PeerStatus verdict (False = suspected dead).
+        self.peer_status: Dict[int, bool] = {}
+        #: Set the first time any peer is suspected (tests/wait hooks).
+        self.peer_failure_event = threading.Event()
+        self._heartbeat_stop = threading.Event()
         threading.Thread(target=self._reader, daemon=True,
                          name="coordinator-client").start()
 
@@ -152,6 +225,10 @@ class CoordinatorClient:
                     box = self._pending.pop(message.request_id, None)
                     if box is not None:
                         box.put(message)
+                elif isinstance(message, m.PeerStatus):
+                    self.peer_status[message.node] = message.alive
+                    if not message.alive:
+                        self.peer_failure_event.set()
                 elif isinstance(message, m.Shutdown):
                     self.shutdown_event.set()
         except (ConnectionError, OSError, EOFError):
@@ -166,7 +243,7 @@ class CoordinatorClient:
         with self._send_lock:
             send_frame(self._sock, build(request_id))
         try:
-            return box.get(timeout=30)
+            return box.get(timeout=peer_timeout_s())
         except queue.Empty:
             raise ClusterError("coordinator did not answer") from None
 
@@ -174,13 +251,46 @@ class CoordinatorClient:
         with self._send_lock:
             send_frame(self._sock, m.RegisterNode(node, address))
 
-    def wait_directory(self, timeout: float = 30.0
+    def wait_directory(self, timeout: Optional[float] = None
                        ) -> Dict[int, Tuple[str, int]]:
+        if timeout is None:
+            timeout = peer_timeout_s()
         try:
             return self._directory.get(timeout=timeout)
         except queue.Empty:
             raise ClusterError(
                 "cluster did not finish registering in time") from None
+
+    # -- failure detection ------------------------------------------------
+
+    def start_heartbeats(self, node: int,
+                         interval_s: Optional[float] = None) -> None:
+        """Send :class:`~repro.runtime.messages.Heartbeat` for ``node``
+        every ``interval_s`` (default: a third of the grace window, so a
+        single dropped beat never triggers suspicion)."""
+        if interval_s is None:
+            interval_s = heartbeat_grace_s() / 3.0
+        self._beat(node)
+
+        def loop() -> None:
+            while not self._heartbeat_stop.wait(interval_s) \
+                    and not self.shutdown_event.is_set():
+                try:
+                    self._beat(node)
+                except OSError:
+                    return
+
+        threading.Thread(target=loop, daemon=True,
+                         name=f"heartbeat-{node}").start()
+
+    def _beat(self, node: int) -> None:
+        with self._send_lock:
+            send_frame(self._sock, m.Heartbeat(node))
+
+    def failed_peers(self) -> set:
+        """Nodes currently suspected dead by the coordinator."""
+        return {node for node, alive in self.peer_status.items()
+                if not alive}
 
     # -- AddressSpaceServer interface for NodeHeap ------------------------
 
@@ -196,6 +306,7 @@ class CoordinatorClient:
         return Region(answer.base, answer.size, answer.owner)
 
     def close(self) -> None:
+        self._heartbeat_stop.set()
         try:
             self._sock.close()
         except OSError:

@@ -35,6 +35,7 @@ from repro.errors import (
     ObjectNotFoundError,
     RemoteInvocationError,
 )
+from repro.recovery.config import reply_timeout_s
 from repro.runtime import messages as m
 from repro.runtime.handles import Handle
 from repro.runtime.objects import AmberObject, set_process_kernel
@@ -50,7 +51,9 @@ MOVE_DRAIN_TIMEOUT = 30.0
 #: Ceiling on waiting for any reply.  Every request is guaranteed an
 #: answer (even pickling failures reply with an error), so hitting this
 #: indicates a lost peer; better a TimeoutError than a silent hang.
-DEFAULT_REPLY_TIMEOUT = 120.0
+#: Derived from REPRO_PEER_TIMEOUT_S (default 30 s -> 120 s here); see
+#: repro.recovery.config.
+DEFAULT_REPLY_TIMEOUT = reply_timeout_s()
 
 
 class ThreadHandle:

@@ -147,6 +147,30 @@ class RegisterNode:
 
 
 @dataclass(frozen=True)
+class Heartbeat:
+    """Node -> coordinator: still alive (sent every grace/3 seconds)."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class PeerStatus:
+    """Coordinator -> everyone: a failure-detector verdict.
+
+    ``alive=False`` means the node has been silent past the grace
+    window and should be treated as suspect; ``alive=True`` retracts an
+    earlier suspicion (the node's heartbeats resumed).  Detection only:
+    the live runtime reports the verdict, it does not (yet) recover the
+    dead node's objects — that is the simulator's job (see
+    ``docs/RECOVERY.md``).
+    """
+
+    node: int
+    alive: bool
+    silence_s: float = 0.0
+
+
+@dataclass(frozen=True)
 class NodeDirectory:
     """Coordinator -> everyone: the full node address map."""
 

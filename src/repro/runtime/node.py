@@ -14,6 +14,7 @@ def node_main(node_id: int, coordinator_address: Tuple[str, int],
     client = CoordinatorClient(coordinator_address, region_bytes)
     kernel = NodeKernel(node_id, client)
     client.register(node_id, kernel.mesh.address)
+    client.start_heartbeats(node_id)
     directory = client.wait_directory()
     kernel.mesh.set_directory(directory)
     client.shutdown_event.wait()

@@ -58,9 +58,13 @@ class SimCluster:
 
     def __init__(self, config: ClusterConfig,
                  costs: Optional[CostModel] = None,
-                 faults=None):
+                 faults=None, recovery=None):
         self.config = config
         self.costs = costs or CostModel.firefly()
+        #: Optional repro.recovery.config.RecoveryConfig; when set, the
+        #: kernel runs a heartbeat detector, checkpoints mutable objects
+        #: to backups, and resurrects orphaned threads after crashes.
+        self.recovery = recovery
         self.sim = Simulator()
         #: Always-on registry: the kernel and network feed it operation
         #: latency histograms, lock wait/hold times, queue occupancy.

@@ -38,15 +38,23 @@ the synchronous protocol, matching the kernel-mediated move of the paper.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
     AmberError,
     AttachmentError,
     InvocationError,
     MobilityError,
+    NodeFailure,
     ObjectNotFoundError,
 )
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    restore_state,
+    snapshot_state,
+)
+from repro.recovery.detector import HeartbeatDetector
+from repro.recovery.replay import ReplayEntry
 from repro.sim import syscalls as sc
 from repro.sim.cluster import SimCluster
 from repro.sim.node import Cpu, SimNode
@@ -61,6 +69,13 @@ MAX_CHASE_HOPS = 1000
 #: by the capped RTO — graceful degradation while the home is down, a
 #: clean ObjectNotFoundError once it is evidently never coming back.
 MAX_HOME_PROBES = 16
+
+#: At-most-once dedup: completed-invocation outcomes remembered per
+#: object.  Bounds memory on long runs; an id evicted here could in
+#: principle be replayed, but a replay only happens within one
+#: crash-detection window of the completion — hundreds of entries deep
+#: is far beyond any plausible in-flight set.
+COMPLETION_LOG_LIMIT = 512
 
 
 class InvocationContext:
@@ -110,6 +125,25 @@ class AmberKernel:
         self._next_tid = 0
         self.threads: List[SimThread] = []
         cluster.kernel = self
+        # --- crash recovery (opt-in via cluster.recovery) -------------
+        self.recovery = getattr(cluster, "recovery", None)
+        self.checkpoints: Optional[CheckpointManager] = None
+        self.detector: Optional[HeartbeatDetector] = None
+        #: node id -> simulated crash instant (detection latency basis).
+        self._crash_times: Dict[int, float] = {}
+        #: Nodes already confirmed dead and swept (idempotence guard).
+        self._confirmed_dead: Set[int] = set()
+        #: Objects confirmed unrecoverable (primary and backup both
+        #: dead at confirmation time): requests fail fast.
+        self._lost_objects: Set[int] = set()
+        if self.recovery is not None and len(cluster.nodes) > 1:
+            self.checkpoints = CheckpointManager(cluster, self.recovery)
+            self.detector = HeartbeatDetector(self, self.recovery)
+            self.detector.start()
+            if self.recovery.checkpointing and \
+                    self.recovery.checkpoint_interval_us > 0:
+                self.sim.schedule_us(self.recovery.checkpoint_interval_us,
+                                     self._checkpoint_sweep)
         if cluster.faults is not None:
             self._schedule_fault_events(cluster.faults)
 
@@ -131,6 +165,11 @@ class AmberKernel:
         self.cluster.objects[vaddr] = obj
         node.descriptors.set_resident(vaddr)
         node.stats.objects_created += 1
+        if self._checkpointing_on() and self.checkpoints.eligible(obj):
+            # Baseline epoch at birth: even an object that is never
+            # quiescent again (a barrier with perpetual waiters) has a
+            # construction-time state to promote.
+            self._ship_checkpoint(obj, node_id)
         return obj
 
     def delete_object(self, obj: SimObject, node_id: int) -> None:
@@ -208,6 +247,7 @@ class AmberKernel:
         if node.down:
             return
         node.down = True
+        self._crash_times[node_id] = self.sim.now_us
         self.metrics.inc("crashes")
         self._trace("crash", node_id)
         for cpu in node.cpus:
@@ -225,6 +265,7 @@ class AmberKernel:
         if not node.down:
             return
         node.down = False
+        self._confirmed_dead.discard(node_id)
         stale = [vaddr for vaddr, descriptor in node.descriptors.items()
                  if not descriptor.resident
                  and self.cluster.home_node(vaddr) != node_id]
@@ -235,6 +276,412 @@ class AmberKernel:
             self.metrics.inc("hints_repaired", len(stale))
         self._trace("restart", node_id, detail=f"{len(stale)} hints shed")
         self._try_dispatch(node)
+
+    # ------------------------------------------------------------------
+    # Crash recovery: checkpoints, promotion, resurrection
+    # ------------------------------------------------------------------
+
+    def _recovering(self) -> bool:
+        """True when a failure detector is attached (recovery opt-in)."""
+        return self.detector is not None
+
+    def _checkpointing_on(self) -> bool:
+        return self.checkpoints is not None and self.recovery.checkpointing
+
+    def _bound_by_live_thread(self, vaddr: int,
+                              exclude: Optional[SimThread] = None) -> bool:
+        """True if a live thread's activation stack includes ``vaddr`` —
+        its state may be mid-operation (torn), so never snapshot it."""
+        for thread in self.threads:
+            if thread is exclude or thread.done:
+                continue
+            if any(act.obj.vaddr == vaddr for act in thread.stack):
+                return True
+        return False
+
+    def _checkpoint_sweep(self) -> None:
+        """Periodic epoch sweep: ship a fresh snapshot of every resident
+        quiescent mutable object to its backup — bounded staleness for
+        state the write-through path never touches."""
+        if not self._checkpointing_on():
+            return
+        if self.threads and self.threads[0].done:
+            return  # program over: let the event queue drain
+        for node in self.cluster.nodes:
+            if node.down:
+                continue
+            for vaddr, descriptor in sorted(node.descriptors.items()):
+                if not descriptor.resident:
+                    continue
+                obj = self.cluster.objects.get(vaddr)
+                if obj is None or not self.checkpoints.eligible(obj):
+                    continue
+                self._ship_checkpoint(obj, node.id)
+        self.sim.schedule_us(self.recovery.checkpoint_interval_us,
+                             self._checkpoint_sweep)
+
+    def _ship_checkpoint(self, obj: SimObject, primary: int,
+                         carrier: Optional[SimThread] = None) -> None:
+        """Snapshot ``obj`` and start a new epoch toward its backup.
+
+        Without a ``carrier`` the epoch ships directly over the faulty
+        reliable layer.  With one (write-through at invocation return)
+        the epoch rides in the completing thread's luggage and is
+        flushed from wherever the thread next lands — the checkpoint
+        escapes the node if and only if the thread does, which is what
+        makes rollback and replay agree (see repro.recovery.replay).
+        """
+        vaddr = obj.vaddr
+        if vaddr in self._lost_objects:
+            return
+        if self._bound_by_live_thread(vaddr, exclude=carrier):
+            return  # mid-operation state: wait for a quiescent point
+        backup = self.checkpoints.backup_node(vaddr, primary)
+        if backup == primary:
+            return  # single-node cluster: nowhere safer to keep it
+        epoch = self.checkpoints.next_epoch(vaddr)
+        state = snapshot_state(obj)
+        nbytes = self.costs.control_bytes + obj.size_bytes
+        self.cluster.node(primary).descriptors.set_backup(
+            vaddr, backup, epoch)
+        self.metrics.inc("checkpoints_shipped")
+        if carrier is not None:
+            carrier.carried_checkpoints.append(
+                (vaddr, epoch, state, backup, nbytes))
+            return
+        if self.cluster.node(backup).down:
+            self.metrics.inc("checkpoints_lost")
+            return
+        self.net.send_reliable(
+            primary, backup, nbytes,
+            lambda: self.checkpoints.store(backup, vaddr, epoch, state),
+            on_give_up=lambda: self.metrics.inc("checkpoints_lost"),
+            kind="checkpoint")
+
+    def _flush_carried(self, thread: SimThread, node_id: int) -> None:
+        """The thread landed on a live node: flush the checkpoint epochs
+        it carried away from their primaries."""
+        carried, thread.carried_checkpoints = \
+            thread.carried_checkpoints, []
+        for vaddr, epoch, state, backup, nbytes in carried:
+            if node_id == backup:
+                self.checkpoints.store(backup, vaddr, epoch, state)
+                continue
+            if self.cluster.node(backup).down:
+                self.metrics.inc("checkpoints_lost")
+                continue
+            self.net.send_reliable(
+                node_id, backup, nbytes,
+                lambda b=backup, v=vaddr, e=epoch, s=state:
+                    self.checkpoints.store(b, v, e, s),
+                on_give_up=lambda: self.metrics.inc("checkpoints_lost"),
+                kind="checkpoint")
+
+    def _log_departure(self, thread: SimThread, node_id: int) -> None:
+        """Caller-side replay log: remember a migrating invocation as it
+        departs, so a confirmed-dead callee can be survived by
+        re-launching from here."""
+        action = thread.on_arrival
+        if action is None or action[0] != "invoke":
+            return  # return-home / resume migrations carry no new work
+        _, request, is_root = action
+        if thread.resurrect_stack and \
+                thread.resurrect_stack[-1].request is request:
+            return  # re-departure of the same invocation (chase, retry)
+        thread.invoke_seq += 1
+        # The id's caller-node component anchors to the *outermost* live
+        # entry's origin, not the physical departure node: a nested
+        # invocation re-issued during replay departs from the promoted
+        # object's new node, and the dedup key must still match the
+        # completion logged under the original id.
+        anchor = (thread.resurrect_stack[0].origin
+                  if thread.resurrect_stack else node_id)
+        thread.resurrect_stack.append(ReplayEntry(
+            id=(anchor, thread.tid, thread.invoke_seq),
+            origin=node_id,
+            target=request.target.vaddr,
+            request=request,
+            payload=getattr(request, "arg_bytes", 0),
+            depth=len(thread.stack),
+            is_root=is_root,
+            seq=thread.invoke_seq,
+        ))
+
+    def _record_completion(self, thread: SimThread, entry: ReplayEntry,
+                           value: Any,
+                           exc: Optional[BaseException]) -> None:
+        """The migrated invocation behind ``entry`` just returned: log
+        its outcome on the target (at-most-once dedup — the log rides
+        inside the object's snapshots) and put the write-through epoch
+        in the thread's luggage."""
+        entry.completed = True
+        obj = self.cluster.objects.get(entry.target)
+        if obj is None:
+            return
+        log = getattr(obj, "_amber_completed", None)
+        if log is None:
+            log = {}
+            obj._amber_completed = log
+        log[entry.id] = (value, exc)
+        while len(log) > COMPLETION_LOG_LIMIT:
+            log.pop(next(iter(log)))
+        if self._checkpointing_on() \
+                and self.recovery.checkpoint_on_remote_invoke \
+                and self.checkpoints.eligible(obj) \
+                and thread.location is not None:
+            self._ship_checkpoint(obj, thread.location, carrier=thread)
+
+    def _deliver_logged(self, thread: SimThread, request) -> bool:
+        """Receive-side at-most-once dedup: if this arrival's invocation
+        already completed before the caller learned of it (the thread
+        was resurrected mid-return), deliver the logged outcome instead
+        of re-executing the side effects."""
+        if not thread.resurrect_stack:
+            return False
+        entry = thread.resurrect_stack[-1]
+        if entry.request is not request:
+            return False
+        obj = self.cluster.objects.get(entry.target)
+        log = getattr(obj, "_amber_completed", None) \
+            if obj is not None else None
+        if log is None or entry.id not in log:
+            return False
+        value, exc = log[entry.id]
+        entry.completed = True
+        self.metrics.inc("invocations_suppressed")
+        self._trace("invoke-suppressed", thread.location, thread.name,
+                    entry.target, f"replay of {entry.id} already applied")
+        if entry.is_root:
+            self._thread_exit(thread, value, exc)
+        else:
+            self._charge(thread, self.costs.local_return_us,
+                         lambda: self._complete_return(thread, value, exc))
+        return True
+
+    def _deliver_logged_local(self, thread: SimThread, request) -> bool:
+        """Local leg of at-most-once dedup.  A replayed invocation whose
+        target was promoted onto the caller's own node never migrates,
+        so :meth:`_deliver_logged` cannot intercept it at arrival.
+        Every *mutable resident* invocation therefore advances the
+        sequence counter here (keeping a replay's sequence stream
+        aligned with the original no matter where promotion moved the
+        targets — immutable targets never advance it on either path),
+        and a completion already logged under the regenerated id is
+        delivered instead of re-executing the side effects."""
+        thread.invoke_seq += 1
+        obj = self.cluster.objects.get(request.target.vaddr)
+        log = getattr(obj, "_amber_completed", None) \
+            if obj is not None else None
+        if not log:
+            return False
+        anchor = (thread.resurrect_stack[0].origin
+                  if thread.resurrect_stack else thread.location)
+        entry_id = (anchor, thread.tid, thread.invoke_seq)
+        if entry_id not in log:
+            return False
+        value, exc = log[entry_id]
+        self.metrics.inc("invocations_suppressed")
+        self._trace("invoke-suppressed", thread.location, thread.name,
+                    request.target.vaddr,
+                    f"replay of {entry_id} already applied (local)")
+        self._charge(thread, self.costs.local_return_us,
+                     lambda: self._complete_return(thread, value, exc))
+        return True
+
+    def _settle_replay_entries(self, thread: SimThread) -> None:
+        """The thread is back with its caller and the results are
+        delivered: retire every answered replay entry and flush any
+        checkpoint epochs still in the luggage."""
+        while thread.resurrect_stack and \
+                thread.resurrect_stack[-1].completed:
+            thread.resurrect_stack.pop()
+        if thread.carried_checkpoints and thread.location is not None:
+            self._flush_carried(thread, thread.location)
+
+    def _on_node_confirmed_dead(self, node_id: int) -> None:
+        """The detector confirmed ``node_id`` dead: promote backups of
+        its resident mutable objects, then resurrect (or fail) every
+        thread that was on it or stuck migrating from it."""
+        node = self.cluster.node(node_id)
+        if not node.down or node_id in self._confirmed_dead:
+            return  # restarted inside the window, or already swept
+        self._confirmed_dead.add(node_id)
+        promoted = 0
+        if self.checkpoints is not None:
+            for vaddr, descriptor in sorted(node.descriptors.items()):
+                if not descriptor.resident:
+                    continue
+                obj = self.cluster.objects.get(vaddr)
+                if obj is None or not self.checkpoints.eligible(obj):
+                    continue
+                if self._checkpointing_on() and \
+                        self._promote_object(node, vaddr, obj):
+                    promoted += 1
+                else:
+                    self._lost_objects.add(vaddr)
+                    self.metrics.inc("objects_lost")
+                    self._trace("object-lost", node_id, "", vaddr,
+                                "no live checkpoint to promote")
+        # Shed dead replica sources so immutable fetches never pick a
+        # corpse (keep the last copy even if it is behind the crash).
+        for obj in self.cluster.objects.values():
+            replicas = getattr(obj, "_replica_nodes", None)
+            if replicas and node_id in replicas and len(replicas) > 1:
+                replicas.discard(node_id)
+        victims = sorted(
+            (thread for thread in self.threads if not thread.done and (
+                thread.location == node_id
+                or (thread.state is ThreadState.TRANSIT
+                    and (thread.transit_hop == node_id
+                         or (thread.transit_path
+                             and thread.transit_path[-1] == node_id))))),
+            key=lambda thread: thread.tid)
+        for victim in victims:
+            self._detach_victim(victim)
+        plans = [(victim, self._usable_entry(victim))
+                 for victim in victims]
+        for victim, entry in plans:
+            if entry is None:
+                self._fail_thread(victim, node_id)
+        # Promotion installs take install time at the backup; replays
+        # launch once the promoted copies are actually usable.
+        delay = self.costs.object_install_us * max(1, promoted)
+        for victim, entry in plans:
+            if entry is not None:
+                self.sim.schedule_us(
+                    delay,
+                    lambda v=victim, e=entry:
+                        self._relaunch_thread(v, e, node_id))
+        if promoted or victims:
+            self.metrics.observe("recovery_us", delay)
+
+    def _promote_object(self, dead_node: SimNode, vaddr: int,
+                        obj: SimObject) -> bool:
+        """Promote the newest live checkpoint epoch of ``vaddr`` to be
+        the authoritative copy; returns False when every epoch is
+        behind a dead node (the object is lost)."""
+        held = self.checkpoints.latest(vaddr)
+        if held is None:
+            return False
+        backup_id, epoch, state = held
+        restore_state(obj, state)
+        backup = self.cluster.node(backup_id)
+        backup.descriptors.set_resident(vaddr)
+        backup.descriptors.set_backup(vaddr, None, epoch)
+        dead_node.descriptors.set_forwarding(vaddr, backup_id)
+        home = self.cluster.home_node(vaddr)
+        if home != backup_id:
+            self.cluster.node(home).descriptors.update_hint(vaddr,
+                                                            backup_id)
+        obj._location = backup_id
+        backup.stats.objects_in += 1
+        self.metrics.inc("objects_recovered")
+        self._trace("promote", backup_id, "", vaddr,
+                    f"epoch {epoch} promoted after node "
+                    f"{dead_node.id} died")
+        return True
+
+    def _detach_victim(self, thread: SimThread) -> None:
+        """Pull a victim out of every kernel structure that still
+        references it, invalidating in-flight callbacks."""
+        if thread.location is not None:
+            node = self.cluster.node(thread.location)
+            if thread.state is ThreadState.READY:
+                node.scheduler.remove(thread)
+            if thread.cpu is not None:
+                cpu = node.cpus[thread.cpu]
+                if cpu.thread is thread:
+                    if cpu.run_event is not None:
+                        cpu.run_event.cancel()
+                    cpu.thread = None
+                    cpu.run_event = None
+                thread.cpu = None
+        thread.run_token += 1
+        thread.state = ThreadState.TRANSIT
+        for other in self.threads:
+            if thread in other.joiners:
+                other.joiners.remove(thread)
+        thread.send_value = None
+        thread.send_exc = None
+        thread.surcharge_us = 0.0
+        thread.pending_compute_us = 0.0
+        thread.slice_left_us = 0.0
+        thread.wakeup_pending = False
+        thread.pending_invoke_metric = None
+        thread.home_probes = 0
+        thread.carried_checkpoints = []
+        thread.block_reason = ""
+
+    def _usable_entry(self, thread: SimThread) -> Optional[ReplayEntry]:
+        """Innermost replay entry whose origin is up and whose target
+        still exists; unusable entries are discarded on the way."""
+        while thread.resurrect_stack:
+            entry = thread.resurrect_stack[-1]
+            if self.cluster.node(entry.origin).down \
+                    or entry.target in self._lost_objects \
+                    or entry.target not in self.cluster.objects:
+                thread.resurrect_stack.pop()
+                continue
+            return entry
+        return None
+
+    def _relaunch_thread(self, thread: SimThread, entry: ReplayEntry,
+                         dead_id: int) -> None:
+        """Re-launch a victim from ``entry``: truncate to the caller
+        frames, reset the sequence counter so re-executed nested
+        invocations regenerate identical ids, and migrate the thread
+        from its origin toward the (possibly promoted) target."""
+        if thread.done:
+            return
+        del thread.stack[entry.depth:]
+        entry.completed = False
+        thread.invoke_seq = entry.seq
+        thread.on_arrival = ("invoke", entry.request, entry.is_root)
+        thread.state = ThreadState.TRANSIT
+        thread.transit_target = entry.target
+        thread.transit_path = [entry.origin]
+        thread.transit_start_us = self.sim.now_us
+        thread.location = None
+        self.metrics.inc("invocations_replayed")
+        self._trace("invocation-replay", entry.origin, thread.name,
+                    entry.target,
+                    f"replaying {entry.id} after node {dead_id} died")
+        origin = self.cluster.node(entry.origin)
+        try:
+            believed = self.believed_location(origin, entry.target)
+        except ObjectNotFoundError:
+            self._fail_thread(thread, dead_id)
+            return
+        self._send_thread(thread, entry.origin, believed, entry.payload)
+
+    def _fail_thread(self, thread: SimThread, dead_id: int) -> None:
+        """No recoverable invocation: terminate the thread with a typed
+        NodeFailure instead of letting it hang, delivering the failure
+        to every joiner."""
+        failure = NodeFailure(
+            f"thread {thread.name} lost with node {dead_id}: no "
+            f"checkpointed state to replay its work against")
+        thread.run_token += 1
+        thread.state = ThreadState.DONE
+        thread.result = None
+        thread.exception = failure
+        thread.location = dead_id
+        thread.stack = []
+        thread.resurrect_stack = []
+        thread.carried_checkpoints = []
+        thread.transit_target = None
+        thread.transit_path = []
+        thread.on_arrival = None
+        self.metrics.inc("threads_lost")
+        self._trace("thread-failed", dead_id, thread.name,
+                    detail="unrecoverable: NodeFailure raised to joiners")
+        joiners, thread.joiners = thread.joiners, []
+        for joiner in joiners:
+            if joiner.done:
+                continue
+            joiner.send_value = None
+            joiner.send_exc = failure
+            self._ready(joiner, joiner.location, self.costs.join_us)
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -315,6 +762,9 @@ class AmberKernel:
             vaddr = request.target.vaddr
             if node.descriptors.is_resident(vaddr):
                 thread.on_arrival = None
+                if self._recovering() and \
+                        self._deliver_logged(thread, request):
+                    return
                 self._push_and_run(thread, request, is_root)
             else:
                 self._trap_and_migrate(thread, vaddr,
@@ -326,6 +776,7 @@ class AmberKernel:
             if node.descriptors.is_resident(top.obj.vaddr):
                 thread.on_arrival = None
                 self._observe_invoke_latency(thread)
+                self._settle_replay_entries(thread)
                 thread.send_value = value
                 thread.send_exc = exc
                 self._advance(thread)
@@ -347,6 +798,7 @@ class AmberKernel:
                      exc: Optional[BaseException]) -> None:
         def finish() -> None:
             self._trace("exit", thread.location, thread.name)
+            self._settle_replay_entries(thread)
             thread.state = ThreadState.DONE
             thread.result = value
             thread.exception = exc
@@ -507,10 +959,13 @@ class AmberKernel:
             self._trace("block", node.id, thread.name, detail="sleep")
             thread.state = ThreadState.BLOCKED
             thread.run_token += 1
+            token = thread.run_token
             self._release_cpu(thread)
-            self.sim.schedule_us(request.us, wake)
+            self.sim.schedule_us(request.us, lambda: wake(token))
 
-        def wake() -> None:
+        def wake(token: int) -> None:
+            if thread.run_token != token:
+                return  # resurrected or failed while asleep
             if thread.state is ThreadState.BLOCKED:
                 self._ready(thread, thread.location,
                             self.costs.dispatch_us)
@@ -549,6 +1004,9 @@ class AmberKernel:
         log[node.id] = log.get(node.id, 0) + 1
         if node.descriptors.is_resident(vaddr):
             node.stats.local_invocations += 1
+            if not request.target.immutable and self._recovering() \
+                    and self._deliver_logged_local(thread, request):
+                return
             self._trace("invoke-local", node.id, thread.name, vaddr,
                         request.method)
             self._push_and_run(thread, request, is_root=False)
@@ -620,6 +1078,10 @@ class AmberKernel:
         else:
             # Atomic operation: completed instantly; its return still
             # pops the (implicit) frame and pays the return-check cost.
+            if self._recovering() and thread.resurrect_stack:
+                entry = thread.resurrect_stack[-1]
+                if not entry.completed and entry.request is request:
+                    self._record_completion(thread, entry, result, None)
             if not is_root:
                 thread.pending_invoke_metric = (
                     "invoke_remote_us" if thread.invoke_remote
@@ -644,6 +1106,11 @@ class AmberKernel:
                     "invoke_remote_us" if frame.remote
                     else "invoke_local_us", frame.start_us)
             thread.stack.pop()
+            if self._recovering() and thread.resurrect_stack:
+                entry = thread.resurrect_stack[-1]
+                if not entry.completed and \
+                        len(thread.stack) <= entry.depth:
+                    self._record_completion(thread, entry, value, exc)
         if not thread.stack:
             self._thread_exit(thread, value, exc)
             return
@@ -660,6 +1127,7 @@ class AmberKernel:
         top = thread.stack[-1]
         if node.descriptors.is_resident(top.obj.vaddr):
             self._observe_invoke_latency(thread)
+            self._settle_replay_entries(thread)
             thread.send_value = value
             thread.send_exc = exc
             self._advance(thread)
@@ -1215,6 +1683,8 @@ class AmberKernel:
             thread.run_token += 1
             thread.transit_target = target_vaddr
             thread.transit_path = [node.id]
+            if self._recovering():
+                self._log_departure(thread, node.id)
             believed = self.believed_location(node, target_vaddr)
             self._release_cpu(thread)
             thread.location = None
@@ -1225,11 +1695,21 @@ class AmberKernel:
     def _send_thread(self, thread: SimThread, src: int, dst: int,
                      payload: int) -> None:
         nbytes = self.costs.thread_packet_bytes + payload
-        self.net.send_reliable(
-            src, dst, nbytes,
-            lambda: self._thread_arrival(thread, dst, payload),
-            on_give_up=lambda: self._thread_send_failed(thread, src, dst,
-                                                        payload))
+        thread.transit_hop = dst
+        token = thread.run_token
+
+        def deliver() -> None:
+            if thread.run_token != token or thread.done:
+                return  # resurrected or failed while in flight
+            self._thread_arrival(thread, dst, payload)
+
+        def give_up() -> None:
+            if thread.run_token != token or thread.done:
+                return
+            self._thread_send_failed(thread, src, dst, payload)
+
+        self.net.send_reliable(src, dst, nbytes, deliver,
+                               on_give_up=give_up, kind="thread")
 
     def _thread_send_failed(self, thread: SimThread, src: int, dst: int,
                             payload: int) -> None:
@@ -1240,6 +1720,24 @@ class AmberKernel:
         which case the object is behind the crash and all we can do is
         probe on a slow timer until it restarts or the budget runs out."""
         vaddr = thread.transit_target
+        if self._recovering():
+            if vaddr in self._lost_objects:
+                self._fail_thread(thread, dst)
+                return
+            obj = self.cluster.objects.get(vaddr)
+            where = getattr(obj, "_location", None)
+            if (where is not None and where != dst
+                    and not self.cluster.node(where).down
+                    and self.cluster.node(where).descriptors
+                        .is_resident(vaddr)):
+                # The object escaped the crash (a promoted backup, or a
+                # live holder): go straight there, not via a corpse.
+                self.metrics.inc("home_fallbacks")
+                self._trace("home-fallback", src, thread.name, vaddr,
+                            f"node {dst} unreachable; live copy at "
+                            f"node {where}")
+                self._send_thread(thread, src, where, payload)
+                return
         home = self.cluster.home_node(vaddr)
         source = self.cluster.node(src)
         if dst != home and src != home:
@@ -1256,15 +1754,23 @@ class AmberKernel:
         thread.home_probes += 1
         self.metrics.inc("home_probes")
         if thread.home_probes > MAX_HOME_PROBES:
+            if self._recovering():
+                # Typed failure instead of an exception out of the event
+                # loop: the object is behind a crash with no recoverable
+                # copy, so the thread terminates and its joiners learn.
+                self._fail_thread(thread, dst)
+                return
             raise ObjectNotFoundError(
                 f"thread {thread.name} cannot reach object {vaddr:#x}: "
                 f"node {dst} stayed unreachable through "
                 f"{MAX_HOME_PROBES} probes")
         self._trace("home-probe", src, thread.name, vaddr,
                     f"probe {thread.home_probes} of node {dst}")
+        token = thread.run_token
         self.sim.schedule_us(
             self._probe_interval_us(),
-            lambda: self._send_thread(thread, src, dst, payload))
+            lambda: None if thread.run_token != token or thread.done
+            else self._send_thread(thread, src, dst, payload))
 
     def _probe_interval_us(self) -> float:
         """Spacing between probes of an unreachable node: the retry
@@ -1347,8 +1853,17 @@ class AmberKernel:
     def _thread_arrival(self, thread: SimThread, node_id: int,
                         payload: int) -> None:
         node = self.cluster.node(node_id)
+        if node.down and self._recovering():
+            # Delivery raced the crash: landed on a corpse.  Bounce from
+            # the last live hop as if the send had given up.
+            src = thread.transit_path[-1] if thread.transit_path \
+                else node_id
+            self._thread_send_failed(thread, src, node_id, payload)
+            return
         thread.home_probes = 0
         thread.transit_path.append(node_id)
+        if thread.carried_checkpoints:
+            self._flush_carried(thread, node_id)
         vaddr = thread.transit_target
         if len(thread.transit_path) > MAX_CHASE_HOPS:
             raise ObjectNotFoundError(

@@ -65,6 +65,11 @@ class Ethernet:
         #: Messages currently queued or on the wire (event-granularity
         #: occupancy; sampled into the ``net_inflight`` gauge per send).
         self._inflight = 0
+        #: Optional repro.sim.trace.Tracer: the reliable layer emits a
+        #: structured ``send_give_up`` event (sender, dest, message kind)
+        #: whenever a sender exhausts its retries, so crash triage is
+        #: not left guessing from the bare ``send_give_ups`` counter.
+        self.tracer = None
 
     def send(self, src: int, dst: int, nbytes: int,
              deliver: Callable[[], None]) -> None:
@@ -76,7 +81,8 @@ class Ethernet:
     def send_reliable(self, src: int, dst: int, nbytes: int,
                       deliver: Callable[[], None],
                       on_give_up: Optional[Callable[[], None]] = None,
-                      max_attempts: Optional[int] = None) -> None:
+                      max_attempts: Optional[int] = None,
+                      kind: str = "message") -> None:
         """Deliver exactly once despite injected faults.
 
         Without an injector this is exactly :meth:`send` (no extra
@@ -122,6 +128,11 @@ class Ethernet:
                     return
                 if k >= attempts:
                     faults.count_give_up()
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            self._sim.now_us, "send_give_up", src,
+                            detail=f"{kind} to node {dst} undeliverable "
+                                   f"after {k} attempts ({nbytes} B)")
                     if on_give_up is not None:
                         on_give_up()
                         return

@@ -74,11 +74,14 @@ class AmberProgram:
 
     def __init__(self, config: Optional[ClusterConfig] = None,
                  costs: Optional[CostModel] = None,
-                 faults=None):
+                 faults=None, recovery=None):
         self.config = config or ClusterConfig()
         self.costs = costs
         #: Optional repro.faults.plan.FaultPlan applied to the run.
         self.faults = faults
+        #: Optional repro.recovery.config.RecoveryConfig enabling crash
+        #: detection, checkpoint/promotion, and thread resurrection.
+        self.recovery = recovery
 
     def run(self, main_fn, *args, main_node: int = 0,
             until_us: Optional[float] = None,
@@ -90,8 +93,10 @@ class AmberProgram:
         :class:`DeadlockError` if the simulation ran out of events with the
         main thread still alive.
         """
-        cluster = SimCluster(self.config, self.costs, self.faults)
+        cluster = SimCluster(self.config, self.costs, self.faults,
+                             recovery=self.recovery)
         cluster.tracer = tracer
+        cluster.network.tracer = tracer
         kernel = AmberKernel(cluster)
         main_obj = kernel.create_object(_MainObject, (main_fn, args), {},
                                         main_node, None)
@@ -110,11 +115,12 @@ class AmberProgram:
 def run_program(main_fn, *args, nodes: int = 1, cpus_per_node: int = 4,
                 costs: Optional[CostModel] = None,
                 contended_network: bool = True,
-                faults=None) -> ProgramResult:
+                faults=None, recovery=None) -> ProgramResult:
     """One-call convenience wrapper around :class:`AmberProgram`."""
     config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node,
                            contended_network=contended_network)
-    return AmberProgram(config, costs, faults).run(main_fn, *args)
+    return AmberProgram(config, costs, faults,
+                        recovery=recovery).run(main_fn, *args)
 
 
 def _describe_stall(kernel: AmberKernel, main_thread: SimThread) -> str:

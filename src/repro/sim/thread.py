@@ -96,6 +96,10 @@ class SimThread(SimObject):
         #: While TRANSIT: (target vaddr, visited path) for chain following.
         self.transit_target: Optional[int] = None
         self.transit_path: List[int] = []
+        #: Destination of the hop currently in flight (lets the crash
+        #: sweep catch threads migrating *toward* a confirmed-dead node
+        #: without waiting out the reliable layer's give-up budget).
+        self.transit_hop: Optional[int] = None
         #: What to do on arrival; set by the kernel.
         self.on_arrival: Any = None
         #: Departure time of the in-flight migration (latency histogram).
@@ -112,6 +116,18 @@ class SimThread(SimObject):
         #: (histogram name, start time) of a completed invocation whose
         #: value is still being delivered (possibly across a migration).
         self.pending_invoke_metric: Optional[tuple] = None
+
+        # --- crash recovery ----------------------------------------------
+        #: Per-thread sequence for invocation ids; reset to the replayed
+        #: entry's ``seq`` on resurrection so re-executed nested
+        #: invocations regenerate identical ids (at-most-once dedup).
+        self.invoke_seq: int = 0
+        #: Caller-side :class:`repro.recovery.replay.ReplayEntry` log of
+        #: in-flight migrating invocations (innermost last).
+        self.resurrect_stack: List[Any] = []
+        #: Write-through checkpoint epochs this thread is carrying away
+        #: from their primary; flushed to the backup on arrival.
+        self.carried_checkpoints: List[Any] = []
 
         # --- termination --------------------------------------------------
         self.result: Any = None

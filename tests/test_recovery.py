@@ -1,0 +1,595 @@
+"""Crash recovery: failure detection, checkpoint/promotion, orphan
+resurrection with at-most-once semantics, and the live runtime's
+heartbeat detector.  See docs/RECOVERY.md for the guarantees under test.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeFailure, SimulationError
+from repro.faults import FaultPlan, NodeCrash
+from repro.recovery import (
+    DEFAULT_PEER_TIMEOUT_S,
+    PEER_TIMEOUT_ENV,
+    RecoveryConfig,
+    heartbeat_grace_s,
+    peer_timeout_s,
+    reply_timeout_s,
+)
+from repro.recovery.checkpoint import (
+    KERNEL_FIELDS,
+    CheckpointManager,
+    restore_state,
+    snapshot_state,
+)
+from repro.sim import (
+    AmberProgram,
+    ClusterConfig,
+    Fork,
+    Invoke,
+    Join,
+    New,
+    Sleep,
+)
+from repro.sim.objects import SimObject
+from repro.sim.sync import Barrier, CondVar, Lock, Monitor
+from repro.sim.syscalls import Compute
+from repro.sim.thread import SimThread
+from tests.helpers import Cell
+
+RECOVERY = RecoveryConfig()
+
+
+def run_recovering(main_fn, *args, nodes=3, cpus=2, faults=None,
+                   recovery=RECOVERY):
+    program = AmberProgram(
+        ClusterConfig(nodes=nodes, cpus_per_node=cpus),
+        faults=faults, recovery=recovery)
+    return program.run(main_fn, *args)
+
+
+def permanent_crash(node, at_us, seed=0):
+    return FaultPlan(seed=seed,
+                     crashes=(NodeCrash(node=node, at_us=at_us),))
+
+
+# ---------------------------------------------------------------------------
+# The REPRO_PEER_TIMEOUT_S knob and RecoveryConfig validation
+# ---------------------------------------------------------------------------
+
+
+class TestPeerTimeoutKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(PEER_TIMEOUT_ENV, raising=False)
+        assert peer_timeout_s() == DEFAULT_PEER_TIMEOUT_S
+
+    def test_override_scales_every_derived_budget(self, monkeypatch):
+        monkeypatch.setenv(PEER_TIMEOUT_ENV, "10")
+        assert peer_timeout_s() == 10.0
+        assert reply_timeout_s() == 40.0
+        assert heartbeat_grace_s() == 1.0
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(PEER_TIMEOUT_ENV, "soon")
+        with pytest.raises(SimulationError):
+            peer_timeout_s()
+
+    def test_nonpositive_raises(self, monkeypatch):
+        monkeypatch.setenv(PEER_TIMEOUT_ENV, "0")
+        with pytest.raises(SimulationError):
+            peer_timeout_s()
+
+
+class TestRecoveryConfigValidation:
+    def test_confirm_defaults_to_twice_grace(self):
+        config = RecoveryConfig(grace_us=5_000.0)
+        assert config.confirm_us == 10_000.0
+
+    def test_grace_shorter_than_heartbeat_interval_raises(self):
+        with pytest.raises(SimulationError):
+            RecoveryConfig(heartbeat_interval_us=1_000.0, grace_us=500.0)
+
+    def test_confirm_before_grace_raises(self):
+        with pytest.raises(SimulationError):
+            RecoveryConfig(grace_us=8_000.0, confirm_us=4_000.0)
+
+    def test_bad_backup_placement_raises(self):
+        with pytest.raises(SimulationError):
+            RecoveryConfig(backup_placement="moon")
+
+    def test_negative_checkpoint_interval_raises(self):
+        with pytest.raises(SimulationError):
+            RecoveryConfig(checkpoint_interval_us=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / restore units
+# ---------------------------------------------------------------------------
+
+
+class _Stateful(SimObject):
+    def __init__(self):
+        self.items = [1, 2, 3]
+        self.table = {"k": [4, 5]}
+        self.grid = np.arange(6, dtype=np.float32)
+        self.peer = None
+        self.owner = None
+
+
+class TestSnapshotRestore:
+    def _thread(self, tid=1):
+        return SimThread(tid)
+
+    def test_snapshot_is_a_structural_copy(self):
+        obj = _Stateful()
+        state = snapshot_state(obj)
+        obj.items.append(99)
+        obj.table["k"].append(99)
+        obj.grid[0] = 99.0
+        assert state["items"] == [1, 2, 3]
+        assert state["table"] == {"k": [4, 5]}
+        assert state["grid"][0] == 0.0
+
+    def test_object_references_kept_by_identity(self):
+        obj = _Stateful()
+        obj.peer = _Stateful()
+        state = snapshot_state(obj)
+        assert state["peer"] is obj.peer
+
+    def test_kernel_fields_never_snapshot(self):
+        obj = _Stateful()
+        obj._vaddr = 0x1000
+        obj._home_node = 2
+        state = snapshot_state(obj)
+        assert not (set(state) & KERNEL_FIELDS)
+
+    def test_restore_overwrites_state_but_not_identity(self):
+        obj = _Stateful()
+        obj._vaddr = 0x1000
+        state = snapshot_state(obj)
+        obj.items = ["mutated"]
+        obj.extra = "junk"
+        restore_state(obj, state)
+        assert obj.items == [1, 2, 3]
+        assert not hasattr(obj, "extra")
+        assert obj._vaddr == 0x1000  # placement survives promotion
+
+    def test_restore_purges_thread_refs_in_containers_only(self):
+        """A promoted lock must not point at waiters being resurrected
+        elsewhere, but a live owner (direct attribute) still holds it."""
+        obj = _Stateful()
+        owner, waiter = self._thread(1), self._thread(2)
+        obj.owner = owner
+        obj.items = [waiter, "data"]
+        obj.table = {"w": waiter, "d": "data"}
+        state = snapshot_state(obj)
+        restore_state(obj, state)
+        assert obj.owner is owner
+        assert obj.items == ["data"]
+        assert obj.table == {"d": "data"}
+
+    def test_stored_snapshot_survives_restore(self):
+        """The backup copy can be promoted twice (second crash)."""
+        obj = _Stateful()
+        state = snapshot_state(obj)
+        restore_state(obj, state)
+        obj.items.append("post-promotion")
+        assert state["items"] == [1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# CheckpointManager units (placement, epochs, stores)
+# ---------------------------------------------------------------------------
+
+
+class _FakeNode:
+    def __init__(self, node_id):
+        self.id = node_id
+        self.down = False
+
+
+class _FakeCluster:
+    def __init__(self, nnodes, homes=None):
+        self.nodes = [_FakeNode(i) for i in range(nnodes)]
+        self._homes = homes or {}
+
+    def home_node(self, vaddr):
+        return self._homes.get(vaddr, 0)
+
+
+class TestCheckpointManager:
+    def _manager(self, nnodes=3, homes=None, placement="home"):
+        return CheckpointManager(
+            _FakeCluster(nnodes, homes),
+            RecoveryConfig(backup_placement=placement))
+
+    def test_epochs_are_monotonic_per_vaddr(self):
+        manager = self._manager()
+        assert [manager.next_epoch(7), manager.next_epoch(7),
+                manager.next_epoch(8)] == [1, 2, 1]
+
+    def test_store_rejects_stale_epochs(self):
+        manager = self._manager()
+        assert manager.store(2, 7, epoch=2, state={"v": 2})
+        assert not manager.store(2, 7, epoch=1, state={"v": 1})
+        assert manager.latest(7) == (2, 2, {"v": 2})
+
+    def test_latest_skips_down_nodes(self):
+        manager = self._manager()
+        manager.store(1, 7, epoch=5, state={"v": 5})
+        manager.store(2, 7, epoch=3, state={"v": 3})
+        manager.cluster.nodes[1].down = True
+        assert manager.latest(7) == (2, 3, {"v": 3})
+        manager.cluster.nodes[2].down = True
+        assert manager.latest(7) is None
+
+    def test_home_placement_prefers_home_when_away(self):
+        manager = self._manager(homes={7: 2})
+        assert manager.backup_node(7, primary=1) == 2
+
+    def test_home_placement_falls_to_ring_at_home(self):
+        """Resident at home: the backup must still be another node."""
+        manager = self._manager(homes={7: 1})
+        backup = manager.backup_node(7, primary=1)
+        assert backup != 1
+
+    def test_backup_never_lands_on_a_down_node(self):
+        manager = self._manager(homes={7: 2})
+        manager.cluster.nodes[2].down = True
+        backup = manager.backup_node(7, primary=1)
+        assert backup not in (1, 2)
+
+    def test_single_node_cluster_has_no_backup(self):
+        manager = self._manager(nnodes=1)
+        assert manager.backup_node(7, primary=0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Simulated failure detection
+# ---------------------------------------------------------------------------
+
+
+class TestSimDetection:
+    def _idle_main(self, ctx):
+        yield Sleep(100_000.0)
+        return "done"
+
+    def test_crash_is_suspected_then_confirmed(self):
+        plan = permanent_crash(node=1, at_us=10_000.0)
+        result = run_recovering(self._idle_main, faults=plan)
+        metrics = result.metrics
+        assert metrics.counter("heartbeats_sent").value > 0
+        assert metrics.counter("node_suspected").value >= 1
+        assert metrics.counter("node_confirmed_dead").value == 1
+        latency = metrics.histogram("detection_latency_us").summary()
+        assert latency["count"] >= 1
+        # Confirmation cannot beat the confirm window.
+        assert latency["max"] >= RECOVERY.confirm_us
+
+    def test_restarted_node_rejoins(self):
+        plan = FaultPlan(seed=0, crashes=(
+            NodeCrash(node=1, at_us=10_000.0, restart_us=50_000.0),))
+        result = run_recovering(self._idle_main, faults=plan)
+        metrics = result.metrics
+        assert metrics.counter("node_confirmed_dead").value == 1
+        assert metrics.counter("node_rejoined").value >= 1
+
+    def test_detection_is_deterministic(self):
+        plan = permanent_crash(node=1, at_us=10_000.0)
+        first = run_recovering(self._idle_main, faults=plan)
+        second = run_recovering(self._idle_main, faults=plan)
+        assert first.elapsed_us == second.elapsed_us
+        for name in ("heartbeats_sent", "node_suspected",
+                     "node_confirmed_dead"):
+            assert (first.metrics.counter(name).value
+                    == second.metrics.counter(name).value)
+
+    def test_no_recovery_config_means_no_heartbeats(self):
+        """Recovery is opt-in: without a config the run is untouched."""
+        result = run_recovering(self._idle_main, recovery=None)
+        assert result.metrics.counter("heartbeats_sent").value == 0
+
+
+# ---------------------------------------------------------------------------
+# Threads blocked in synchronization objects on a dying node
+# ---------------------------------------------------------------------------
+
+
+class LockWorker(SimObject):
+    SIZE_BYTES = 128
+
+    def __init__(self, lock):
+        self.lock = lock
+        self.entries = 0
+
+    def work(self, ctx, rounds, hold_us):
+        for _ in range(rounds):
+            yield Invoke(self.lock, "acquire")
+            yield Compute(hold_us)
+            self.entries += 1
+            yield Invoke(self.lock, "release")
+        return self.entries
+
+
+class BarrierWorker(SimObject):
+    SIZE_BYTES = 128
+
+    def __init__(self, barrier):
+        self.barrier = barrier
+        self.cycles = 0
+
+    def work(self, ctx, cycles, step_us):
+        for _ in range(cycles):
+            yield Compute(step_us)
+            yield Invoke(self.barrier, "wait")
+            self.cycles += 1
+        return self.cycles
+
+
+class CondWaiter(SimObject):
+    SIZE_BYTES = 128
+
+    def __init__(self, monitor, cond):
+        self.monitor = monitor
+        self.cond = cond
+
+    def wait_for_go(self, ctx):
+        yield Invoke(self.monitor, "enter")
+        yield Invoke(self.cond, "wait")
+        yield Invoke(self.monitor, "exit")
+        return "woken"
+
+    def go(self, ctx, delay_us):
+        yield Sleep(delay_us)
+        yield Invoke(self.monitor, "enter")
+        yield Invoke(self.cond, "signal")
+        yield Invoke(self.monitor, "exit")
+        return "signalled"
+
+
+class TestSyncRecovery:
+    """The ISSUE's acceptance bar: a thread blocked in Lock.acquire /
+    Barrier.wait / CondVar.wait whose sync object's node dies must
+    either complete against the promoted backup or fail with a typed
+    NodeFailure — never hang (a hang would be a DeadlockError here)."""
+
+    def test_lock_on_dead_node_recovers(self):
+        def main(ctx):
+            lock = yield New(Lock, on_node=1)
+            workers, threads = [], []
+            for i in range(3):
+                worker = yield New(LockWorker, lock, on_node=2)
+                workers.append(worker)
+            for worker in workers:
+                threads.append((yield Fork(worker, "work", 6, 3_000.0)))
+            total = 0
+            for thread in threads:
+                total += yield Join(thread)
+            return total
+
+        result = run_recovering(main,
+                                faults=permanent_crash(1, 12_000.0))
+        assert result.value == 18
+        metrics = result.metrics
+        assert metrics.counter("node_confirmed_dead").value == 1
+        assert metrics.counter("objects_recovered").value >= 1
+        assert metrics.counter("threads_lost").value == 0
+
+    def test_barrier_on_dead_node_recovers(self):
+        def main(ctx):
+            barrier = yield New(Barrier, 3, on_node=1)
+            threads = []
+            for node in (0, 2, 2):
+                worker = yield New(BarrierWorker, barrier, on_node=node)
+                threads.append((yield Fork(worker, "work", 5, 4_000.0)))
+            total = 0
+            for thread in threads:
+                total += yield Join(thread)
+            return total
+
+        result = run_recovering(main,
+                                faults=permanent_crash(1, 15_000.0))
+        assert result.value == 15
+        assert result.metrics.counter("objects_recovered").value >= 1
+        assert result.metrics.counter("threads_lost").value == 0
+
+    def test_condvar_waiter_survives_monitor_node_death(self):
+        """The waiter is parked at Suspend("condvar") on node 1 when it
+        dies.  Resurrection replays CondVar.wait against the promoted
+        pair; the monitor's newest durable epoch is the waiter's own
+        enter write-through (held, owner preserved by identity), so the
+        re-run holds() check passes.  The sweep is disabled so no later
+        quiescent epoch can supersede it (see docs/RECOVERY.md)."""
+        def main(ctx):
+            monitor = yield New(Monitor, on_node=1)
+            cond = yield New(CondVar, monitor, on_node=1)
+            pair = yield New(CondWaiter, monitor, cond, on_node=2)
+            waiter = yield Fork(pair, "wait_for_go")
+            signaler = yield Fork(pair, "go", 80_000.0)
+            woken = yield Join(waiter)
+            signalled = yield Join(signaler)
+            return (woken, signalled)
+
+        recovery = RecoveryConfig(checkpoint_interval_us=0.0)
+        result = run_recovering(main, recovery=recovery,
+                                faults=permanent_crash(1, 20_000.0))
+        assert result.value == ("woken", "signalled")
+        assert result.metrics.counter("objects_recovered").value >= 2
+        assert result.metrics.counter("threads_lost").value == 0
+
+
+# ---------------------------------------------------------------------------
+# At-most-once resurrection semantics
+# ---------------------------------------------------------------------------
+
+
+class Pounder(SimObject):
+    SIZE_BYTES = 128
+
+    def __init__(self, cell):
+        self.cell = cell
+
+    def pound(self, ctx, rounds, think_us):
+        total = 0
+        for _ in range(rounds):
+            total = yield Invoke(self.cell, "add", 1)
+            yield Compute(think_us)
+        return total
+
+
+class Inner(SimObject):
+    SIZE_BYTES = 128
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self, ctx):
+        yield Compute(500.0)
+        self.count += 1
+        return self.count
+
+    def get(self, ctx):
+        if False:
+            yield None
+        return self.count
+
+
+class Outer(SimObject):
+    SIZE_BYTES = 128
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def call_through(self, ctx, linger_us):
+        value = yield Invoke(self.inner, "bump")
+        yield Compute(linger_us)  # the crash lands in this window
+        return value
+
+
+class TestAtMostOnce:
+    def test_mutations_on_recovered_object_apply_exactly_once(self):
+        """Every add either completed before the epoch that survived
+        (logged, replay suppressed) or rolled back *with* its result
+        (replayed cleanly): the final count is exact, not approximate."""
+        def main(ctx):
+            cell = yield New(Cell, 0, on_node=1)
+            pounder = yield New(Pounder, cell, on_node=2)
+            thread = yield Fork(pounder, "pound", 40, 1_000.0)
+            return (yield Join(thread))
+
+        result = run_recovering(main,
+                                faults=permanent_crash(1, 20_000.0))
+        assert result.value == 40
+        metrics = result.metrics
+        assert metrics.counter("objects_recovered").value >= 1
+        assert metrics.counter("invocations_replayed").value >= 1
+
+    def test_nested_invocation_is_not_double_applied(self):
+        """The thread dies on node 1 *after* its nested bump completed
+        on live node 2.  The replayed outer call re-issues the bump from
+        the promoted object's node — a different caller node than the
+        original departure — and the regenerated id must still hit the
+        completion log on Inner: the count stays 1."""
+        def main(ctx):
+            inner = yield New(Inner, on_node=2)
+            outer = yield New(Outer, inner, on_node=1)
+            thread = yield Fork(outer, "call_through", 80_000.0)
+            value = yield Join(thread)
+            count = yield Invoke(inner, "get")
+            return (value, count)
+
+        result = run_recovering(main,
+                                faults=permanent_crash(1, 20_000.0))
+        assert result.value == (1, 1)
+        metrics = result.metrics
+        assert metrics.counter("invocations_replayed").value >= 1
+        assert metrics.counter("invocations_suppressed").value >= 1
+
+
+# ---------------------------------------------------------------------------
+# Unrecoverable loss is a typed error, never a hang
+# ---------------------------------------------------------------------------
+
+
+class TestUnrecoverable:
+    def _main(self, ctx):
+        cell = yield New(Cell, 0, on_node=1)
+        pounder = yield New(Pounder, cell, on_node=2)
+        thread = yield Fork(pounder, "pound", 40, 1_000.0)
+        return (yield Join(thread))
+
+    def test_checkpointing_disabled_raises_node_failure(self):
+        recovery = RecoveryConfig(checkpointing=False)
+        with pytest.raises(NodeFailure):
+            run_recovering(self._main, recovery=recovery,
+                           faults=permanent_crash(1, 20_000.0))
+
+    def test_same_run_with_checkpointing_completes(self):
+        result = run_recovering(self._main,
+                                faults=permanent_crash(1, 20_000.0))
+        assert result.value == 40
+
+
+# ---------------------------------------------------------------------------
+# Property: recovered SOR equals the clean run, replays bit-identically
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def clean_sor():
+    from repro.recovery.scenario import _sor_problem
+    from repro.recovery.workloads import run_recovery_sor
+
+    return run_recovery_sor(problem=_sor_problem(fast=True), nodes=3,
+                            cpus_per_node=2)
+
+
+class TestRecoveredSorProperty:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_recovered_run_matches_clean_and_replays(self, seed,
+                                                     clean_sor):
+        from repro.recovery.scenario import _recover_plan
+        from repro.recovery.workloads import run_recovery_sor
+
+        plan = _recover_plan(seed, clean_sor.elapsed_us)
+        runs = [
+            run_recovery_sor(problem=clean_sor.problem, nodes=3,
+                             cpus_per_node=2, faults=plan,
+                             recovery=RecoveryConfig())
+            for _ in range(2)
+        ]
+        for run in runs:
+            assert np.array_equal(run.grid, clean_sor.grid)
+            metrics = run.stats.metrics
+            assert metrics.counter("objects_recovered").value >= 1
+            assert metrics.counter("threads_lost").value == 0
+        assert runs[0].elapsed_us == runs[1].elapsed_us
+        assert runs[0].grid.tobytes() == runs[1].grid.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Live runtime: heartbeat detection through the coordinator
+# ---------------------------------------------------------------------------
+
+
+class TestLiveDetection:
+    def test_killed_peer_is_suspected(self, monkeypatch):
+        """Detection only in the live runtime: a killed node process is
+        reported by failed_peers() within the grace window."""
+        monkeypatch.setenv(PEER_TIMEOUT_ENV, "5")
+        from repro.runtime.cluster import Cluster
+
+        with Cluster(nodes=3) as cluster:
+            victim = cluster._processes[0]  # node 1
+            victim.terminate()
+            victim.join(timeout=5)
+            assert cluster._client.peer_failure_event.wait(timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline \
+                    and 1 not in cluster.failed_peers():
+                time.sleep(0.05)
+            assert 1 in cluster.failed_peers()
+            assert 1 in cluster._coordinator.suspected_nodes()
+            assert 2 not in cluster.failed_peers()
