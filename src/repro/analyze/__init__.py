@@ -1,0 +1,55 @@
+"""AmberSan: concurrency-correctness analysis for Amber programs.
+
+Three cooperating tools (see ``docs/ANALYSIS.md``):
+
+* :mod:`repro.analyze.sanitizer` — a dynamic happens-before race
+  sanitizer over simulated runs (vector clocks + per-field shadow
+  state), reporting unsynchronized access to shared mutable objects,
+  writes to ``immutable``-marked objects, and direct touches of
+  non-resident state.
+* :mod:`repro.analyze.lint` — a static AST lint (``repro lint``) for
+  the concurrency idioms of the Amber programming model.
+* :mod:`repro.analyze.lockorder` — a runtime lock-order graph whose
+  cycle report predicts deadlocks even on runs that did not deadlock,
+  plus the wait-for cycle report behind :class:`DeadlockError`.
+
+The subsystem is enabled per run (``AmberProgram(..., sanitize=True)``,
+``--sanitize`` on the CLI, or :func:`repro.analyze.runtime.sanitize_runs`)
+and is entirely passive: it schedules no simulator events, charges no
+costs, and consumes no PRNG draws, so sanitized runs are bit-identical
+to unsanitized ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_LAZY = {
+    "Sanitizer": ("repro.analyze.sanitizer", "Sanitizer"),
+    "SanitizerReport": ("repro.analyze.sanitizer", "SanitizerReport"),
+    "Finding": ("repro.analyze.sanitizer", "Finding"),
+    "VectorClock": ("repro.analyze.hb", "VectorClock"),
+    "LockOrderGraph": ("repro.analyze.lockorder", "LockOrderGraph"),
+    "lint_paths": ("repro.analyze.lint", "lint_paths"),
+    "lint_source": ("repro.analyze.lint", "lint_source"),
+    "LintFinding": ("repro.analyze.lint", "LintFinding"),
+    "RULES": ("repro.analyze.lint", "RULES"),
+    "sanitize_runs": ("repro.analyze.runtime", "sanitize_runs"),
+    "run_analysis_scenarios": ("repro.analyze.scenario",
+                               "run_analysis_scenarios"),
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str) -> Any:
+    """Lazy exports: keep ``import repro.analyze.runtime`` (done by the
+    simulator's hot modules) from dragging in the whole subsystem."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

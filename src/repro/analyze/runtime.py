@@ -1,0 +1,74 @@
+"""Per-process registry of the active sanitizer.
+
+This module is imported by the simulator's hot paths (``sim.kernel``,
+``sim.sync``) and therefore imports nothing outside the standard
+library: the hooks read :data:`ACTIVE` and bail on ``None``, so an
+unsanitized run pays a single module-attribute load per hook site.
+
+Exactly one sanitizer can be active at a time (the simulator is
+single-threaded, and a sanitizer's class-level attribute hooks are
+process-global).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analyze.sanitizer import Sanitizer
+
+#: The sanitizer observing the currently running simulation, if any.
+ACTIVE: Optional["Sanitizer"] = None
+
+_AUTO: bool = False
+_COLLECTED: Optional[List["Sanitizer"]] = None
+
+
+def activate(sanitizer: "Sanitizer") -> None:
+    """Make ``sanitizer`` the process-wide active sanitizer."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("a sanitizer is already active")
+    ACTIVE = sanitizer
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+def active() -> Optional["Sanitizer"]:
+    return ACTIVE
+
+
+def auto_enabled() -> bool:
+    """True inside a :func:`sanitize_runs` block: every
+    :class:`repro.sim.program.AmberProgram` run sanitizes itself."""
+    return _AUTO
+
+
+def collect(sanitizer: "Sanitizer") -> None:
+    """Hand a finished run's sanitizer to the enclosing
+    :func:`sanitize_runs` block (no-op outside one)."""
+    if _COLLECTED is not None:
+        _COLLECTED.append(sanitizer)
+
+
+@contextmanager
+def sanitize_runs() -> Iterator[List["Sanitizer"]]:
+    """Sanitize every simulated program run in the block.
+
+    Yields a list that accumulates the :class:`Sanitizer` of each run
+    started inside the block — the mechanism behind the CLI's
+    ``--sanitize`` flag, which cannot thread a parameter through every
+    workload entry point.
+    """
+    global _AUTO, _COLLECTED
+    saved = (_AUTO, _COLLECTED)
+    collected: List["Sanitizer"] = []
+    _AUTO, _COLLECTED = True, collected
+    try:
+        yield collected
+    finally:
+        _AUTO, _COLLECTED = saved

@@ -1,0 +1,237 @@
+"""Self-checking AmberSan scenarios (``repro analyze``).
+
+Each scenario runs a fixture from :mod:`repro.analyze.fixtures` (or a
+bundled application) under the sanitizer and checks the verdict the
+fixture was built to produce: the races and misuse are *found*, the
+correct programs stay *clean*, the findings are *deterministic* across
+repeat runs and seeds, and sanitizing *changes nothing* about the
+simulated execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analyze.fixtures import (
+    run_immutable_write,
+    run_lock_inversion,
+    run_nonresident_touch,
+    run_racy_counter,
+    run_sync_zoo,
+)
+from repro.analyze.runtime import sanitize_runs
+from repro.analyze.sanitizer import SanitizerReport
+
+
+@dataclass
+class AnalysisOutcome:
+    """Verdict of one analysis scenario."""
+
+    name: str
+    description: str
+    #: What the sanitizer was expected to report, human-readable.
+    expected: str
+    correct: bool
+    deterministic: bool
+    elapsed_us: float
+    #: Sorted, seed/time-stable finding signatures of the first run.
+    signatures: List[str] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.correct and self.deterministic
+
+
+@dataclass
+class AnalysisReport:
+    """All scenarios of one ``repro analyze`` invocation."""
+
+    seed: int
+    fast: bool
+    scenarios: List[AnalysisOutcome]
+
+    @property
+    def ok(self) -> bool:
+        return all(scenario.ok for scenario in self.scenarios)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "fast": self.fast,
+            "ok": self.ok,
+            "scenarios": [{
+                "name": s.name,
+                "description": s.description,
+                "expected": s.expected,
+                "ok": s.ok,
+                "correct": s.correct,
+                "deterministic": s.deterministic,
+                "elapsed_us": s.elapsed_us,
+                "signatures": s.signatures,
+                "detail": s.detail,
+            } for s in self.scenarios],
+        }
+
+    def render(self) -> str:
+        lines = [f"AmberSan analysis report (seed {self.seed})",
+                 "=" * 48]
+        for s in self.scenarios:
+            verdict = "PASS" if s.ok else "FAIL"
+            lines.append("")
+            lines.append(f"[{verdict}] {s.name}: {s.description}")
+            lines.append(f"  expected: {s.expected}")
+            lines.append(f"  correct: {s.correct}   "
+                         f"deterministic: {s.deterministic}")
+            for signature in s.signatures:
+                lines.append(f"  finding: {signature}")
+            if s.detail:
+                lines.append(f"  {s.detail}")
+        lines.append("")
+        lines.append(f"overall: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def run_analysis_scenarios(seed: int = 0,
+                           fast: bool = False) -> AnalysisReport:
+    """Run every scenario under ``seed`` and collect the verdicts."""
+    scenarios = [
+        _expect_findings(
+            "racy-counter",
+            "two threads bump an unlocked shared counter",
+            lambda s: run_racy_counter(seed=s),
+            rules={"AMBSAN-RACE"}, seed=seed),
+        _expect_clean(
+            "locked-counter",
+            "the same counter behind a Lock",
+            lambda s: run_racy_counter(seed=s, locked=True), seed=seed),
+        _expect_findings(
+            "immutable-write",
+            "write to an immutable-marked object after replication",
+            lambda s: run_immutable_write(seed=s),
+            rules={"AMBSAN-IMMUT"}, seed=seed),
+        _expect_findings(
+            "non-resident-touch",
+            "direct read of state the thread migrated away from",
+            lambda s: run_nonresident_touch(seed=s),
+            rules={"AMBSAN-RESIDENT"}, seed=seed),
+        _expect_findings(
+            "lock-inversion",
+            "A->B and B->A acquisition orders on a run that did "
+            "not deadlock",
+            lambda s: run_lock_inversion(seed=s),
+            rules={"AMBSAN-ORDER"}, seed=seed),
+        _expect_clean(
+            "sync-zoo",
+            "barrier epochs, monitor sections, and a condvar "
+            "handoff used correctly",
+            lambda s: run_sync_zoo(seed=s), seed=seed),
+        _timing_neutral(seed),
+    ]
+    if not fast:
+        scenarios.append(_apps_clean(seed))
+    return AnalysisReport(seed=seed, fast=fast, scenarios=scenarios)
+
+
+# ----------------------------------------------------------------------
+# Scenario construction
+# ----------------------------------------------------------------------
+
+
+def _report_of(result) -> SanitizerReport:
+    return result.cluster.sanitizer.report()
+
+
+def _expect_findings(name: str, description: str, fixture,
+                     rules: set, seed: int) -> AnalysisOutcome:
+    """The fixture must produce at least one finding of each expected
+    rule, no findings of other rules, and identical signatures on a
+    repeat run and on neighbouring seeds."""
+    result = fixture(seed)
+    report = _report_of(result)
+    seen_rules = {f.rule for f in report.findings}
+    signatures = report.signatures()
+    correct = rules <= seen_rules and seen_rules <= rules
+    detail = ""
+    if not correct:
+        detail = (f"expected rules {sorted(rules)}, "
+                  f"saw {sorted(seen_rules)}")
+    deterministic = True
+    for other_seed in (seed, seed + 1, seed + 2):
+        again = _report_of(fixture(other_seed)).signatures()
+        if again != signatures:
+            deterministic = False
+            detail = (detail + " " if detail else "") + (
+                f"signatures diverge at seed {other_seed}")
+            break
+    return AnalysisOutcome(
+        name=name, description=description,
+        expected=" + ".join(sorted(rules)),
+        correct=correct, deterministic=deterministic,
+        elapsed_us=result.elapsed_us,
+        signatures=signatures, detail=detail)
+
+
+def _expect_clean(name: str, description: str, fixture,
+                  seed: int) -> AnalysisOutcome:
+    result = fixture(seed)
+    report = _report_of(result)
+    detail = "" if report.ok else report.render()
+    return AnalysisOutcome(
+        name=name, description=description, expected="clean",
+        correct=report.ok, deterministic=True,
+        elapsed_us=result.elapsed_us,
+        signatures=report.signatures(), detail=detail)
+
+
+def _timing_neutral(seed: int) -> AnalysisOutcome:
+    """Sanitizing must not move a single simulated timestamp or change
+    the program's result."""
+    plain = run_racy_counter(seed=seed, sanitize=False)
+    sanitized = run_racy_counter(seed=seed, sanitize=True)
+    correct = (plain.elapsed_us == sanitized.elapsed_us
+               and plain.value == sanitized.value)
+    detail = "" if correct else (
+        f"elapsed {plain.elapsed_us} vs {sanitized.elapsed_us}, "
+        f"value {plain.value} vs {sanitized.value}")
+    return AnalysisOutcome(
+        name="timing-neutral",
+        description="identical elapsed time and result with and "
+                    "without the sanitizer",
+        expected="bit-identical run", correct=correct,
+        deterministic=True, elapsed_us=sanitized.elapsed_us,
+        detail=detail)
+
+
+def _apps_clean(seed: int) -> AnalysisOutcome:
+    """Every bundled application must run sanitizer-clean."""
+    from repro.apps.matmul import run_matmul
+    from repro.apps.queens import run_amber_queens
+    from repro.apps.sor.amber_sor import run_amber_sor
+    from repro.apps.sor.grid import SorProblem
+
+    dirty: List[str] = []
+    elapsed = 0.0
+    jobs = [
+        ("sor", lambda: run_amber_sor(
+            SorProblem(rows=24, cols=16, iterations=4),
+            nodes=2, cpus_per_node=2)),
+        ("queens", lambda: run_amber_queens(
+            n=6, nodes=2, cpus_per_node=2)),
+        ("matmul", lambda: run_matmul(
+            m=24, k=24, n=24, nodes=2, cpus_per_node=2)),
+    ]
+    for name, job in jobs:
+        with sanitize_runs() as sanitizers:
+            outcome = job()
+        elapsed += getattr(outcome, "elapsed_us", 0.0)
+        for sanitizer in sanitizers:
+            report = sanitizer.report()
+            if not report.ok:
+                dirty.append(f"{name}: {report.render()}")
+    return AnalysisOutcome(
+        name="apps-clean",
+        description="bundled sor/queens/matmul run sanitizer-clean",
+        expected="clean", correct=not dirty, deterministic=True,
+        elapsed_us=elapsed, detail="; ".join(dirty))

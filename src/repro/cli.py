@@ -17,6 +17,15 @@
                                               # report (see docs/FAULTS.md)
     python -m repro faults --recover [--fast] # permanent-crash recovery
                                               # report (docs/RECOVERY.md)
+    python -m repro analyze [--fast] [--seed N]
+                                              # AmberSan race/deadlock
+                                              # scenarios (docs/ANALYSIS.md)
+    python -m repro analyze --workload sor --fast
+                                              # sanitize one workload
+    python -m repro lint [paths...]           # concurrency AST lint
+
+``trace`` and ``profile`` also accept ``--sanitize`` to run the
+workload under AmberSan and print its findings.
 
 Every artifact accepts ``--metrics-json PATH`` to dump the run's metrics
 registry (operation-latency histograms with p50/p90/p99, counters,
@@ -83,12 +92,30 @@ WORKLOADS = {
 }
 
 
+def _run_workload(args, tracer):
+    """Run the selected workload, sanitized when ``--sanitize``.
+
+    Returns ``(result, sanitizer_reports)``."""
+    if not getattr(args, "sanitize", False):
+        return WORKLOADS[args.workload](args.fast, tracer), []
+    from repro.analyze.runtime import sanitize_runs
+    with sanitize_runs() as sanitizers:
+        result = WORKLOADS[args.workload](args.fast, tracer)
+    return result, [sanitizer.report() for sanitizer in sanitizers]
+
+
+def _print_sanitizer_reports(reports) -> None:
+    for report in reports:
+        print()
+        print(report.render())
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.perfetto import export_chrome_trace
     from repro.sim.trace import Tracer
 
     tracer = Tracer(max_events=args.max_events)
-    result = WORKLOADS[args.workload](args.fast, tracer)
+    result, san_reports = _run_workload(args, tracer)
     count = export_chrome_trace(tracer.events, args.out,
                                 nodes=result.cluster.config.nodes)
     dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
@@ -96,6 +123,7 @@ def _cmd_trace(args) -> int:
     print(f"simulated elapsed: {result.elapsed_us:.1f} us "
           f"on {result.cluster.config.label()}")
     print("open in https://ui.perfetto.dev or chrome://tracing")
+    _print_sanitizer_reports(san_reports)
     _maybe_write_metrics(args, result)
     return 0
 
@@ -103,7 +131,7 @@ def _cmd_trace(args) -> int:
 def _cmd_profile(args) -> int:
     from repro.obs.profile import profile_result, render_profile
 
-    result = WORKLOADS[args.workload](args.fast, None)
+    result, san_reports = _run_workload(args, None)
     profiles = profile_result(result)
     print(render_profile(
         profiles, elapsed_us=result.elapsed_us,
@@ -111,6 +139,7 @@ def _cmd_profile(args) -> int:
                f"({result.cluster.config.label()}), microseconds")))
     print()
     print(result.cluster.metrics.render(title="Operation metrics"))
+    _print_sanitizer_reports(san_reports)
     _maybe_write_metrics(args, result)
     return 0
 
@@ -130,6 +159,56 @@ def _cmd_faults(args) -> int:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"\nreport written to {args.metrics_json}")
     return 0 if report.ok else 1
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    if args.workload:
+        from repro.analyze.runtime import sanitize_runs
+        with sanitize_runs() as sanitizers:
+            result = WORKLOADS[args.workload](args.fast, None)
+        reports = [sanitizer.report() for sanitizer in sanitizers]
+        ok = all(report.ok for report in reports)
+        print(f"sanitized {args.workload}: simulated "
+              f"{result.elapsed_us:.1f} us on "
+              f"{result.cluster.config.label()}")
+        for report in reports:
+            print()
+            print(report.render())
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump([report.as_dict() for report in reports],
+                          handle, indent=2)
+            print(f"\nreport written to {args.json}")
+        return 0 if ok else 1
+
+    from repro.analyze.scenario import run_analysis_scenarios
+    report = run_analysis_scenarios(seed=args.seed, fast=args.fast)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nreport written to {args.json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.analyze.lint import RULES, lint_paths
+
+    paths = args.paths or ["src/repro/apps", "examples"]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    if args.explain:
+        print()
+        for rule, text in sorted(RULES.items()):
+            print(f"{rule}: {text}")
+    if findings:
+        print(f"\n{len(findings)} finding(s)")
+        return 1
+    print(f"clean: {', '.join(paths)}")
+    return 0
 
 
 def _maybe_write_metrics(args, result) -> None:
@@ -168,6 +247,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="tracer ring capacity (default: 500000)")
     tp.add_argument("--metrics-json", metavar="PATH", default=None,
                     help="also dump the run's metrics registry as JSON")
+    tp.add_argument("--sanitize", action="store_true",
+                    help="run under AmberSan and print its findings "
+                         "(simulated times are unchanged)")
 
     fp = sub.add_parser("faults",
                         help="run the fault-recovery scenarios and print "
@@ -193,6 +275,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="smaller problem (quick look)")
     pp.add_argument("--metrics-json", metavar="PATH", default=None,
                     help="also dump the run's metrics registry as JSON")
+    pp.add_argument("--sanitize", action="store_true",
+                    help="run under AmberSan and print its findings "
+                         "(simulated times are unchanged)")
+
+    ap = sub.add_parser("analyze",
+                        help="run the AmberSan analysis scenarios "
+                             "(race/immutable/residency/lock-order) and "
+                             "print a pass/fail report")
+    ap.add_argument("--fast", action="store_true",
+                    help="skip the bundled-apps sweep (CI smoke)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="fixture jitter seed (default: 0)")
+    ap.add_argument("--workload", choices=sorted(WORKLOADS), default=None,
+                    help="instead of the scenarios, sanitize one "
+                         "bundled workload and report its findings")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="dump the report (verdicts + finding "
+                         "signatures) as JSON")
+
+    lp = sub.add_parser("lint",
+                        help="static concurrency lint (AMB101-AMB105) "
+                             "over Amber programs")
+    lp.add_argument("paths", nargs="*",
+                    help="files or directories (default: src/repro/apps "
+                         "and examples)")
+    lp.add_argument("--explain", action="store_true",
+                    help="print the rule catalogue after the findings")
 
     args = parser.parse_args(argv)
 
@@ -202,6 +311,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
 
     names = sorted(_ARTIFACTS) if args.command == "all" \
         else [args.command]

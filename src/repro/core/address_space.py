@@ -21,7 +21,7 @@ Two rules from the paper are enforced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import AddressExhaustedError, AddressSpaceError, HeapError
 
@@ -70,7 +70,8 @@ class AddressSpaceServer:
     """
 
     def __init__(self, region_bytes: int = DEFAULT_REGION_BYTES,
-                 base: int = HEAP_BASE, limit: int = ADDRESS_LIMIT):
+                 base: int = HEAP_BASE,
+                 limit: int = ADDRESS_LIMIT) -> None:
         if region_bytes <= 0 or region_bytes % ALLOC_ALIGN:
             raise AddressSpaceError(
                 f"region size must be a positive multiple of {ALLOC_ALIGN}, "
@@ -176,7 +177,8 @@ class NodeHeap:
     """
 
     def __init__(self, node: int, server: AddressSpaceServer,
-                 on_grant=None) -> None:
+                 on_grant: Optional[Callable[[Region], None]] = None
+                 ) -> None:
         """``on_grant`` is called with each new :class:`Region` granted; the
         backends use it to propagate grants into their region caches."""
         self.node = node

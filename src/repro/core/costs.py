@@ -193,7 +193,7 @@ class CostModel:
                 + self.manager_us + self.page_pack_us
                 + self.wire_us(self.page_bytes) + self.page_install_us)
 
-    def replace(self, **changes) -> "CostModel":
+    def replace(self, **changes: float) -> "CostModel":
         """A copy with some fields changed."""
         return dataclasses.replace(self, **changes)
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DescriptorError
 
@@ -114,7 +114,7 @@ class DescriptorTable:
         """Drop the descriptor (object deleted; page returns to zero-fill)."""
         self._table.pop(address, None)
 
-    def items(self):
+    def items(self) -> List[Tuple[int, Descriptor]]:
         """Snapshot of (address, descriptor) pairs — used by crash
         recovery to find forwarding entries that did not survive."""
         return list(self._table.items())

@@ -75,6 +75,10 @@ def resolve(address: int, start_node: int,
             node = home
         else:
             next_node = descriptor.forward_to
+            if next_node is None:
+                raise ObjectNotFoundError(
+                    f"forwarding descriptor for {address:#x} at node "
+                    f"{node} has no destination")
             if next_node in path and next_node != path[-1]:
                 # A cycle can only arise from descriptor corruption; the
                 # protocols in both backends update source and destination

@@ -18,6 +18,8 @@ docstring for why this stands in for §3.5's bound-thread migration).
 from __future__ import annotations
 
 import itertools
+import logging
+import pickle
 import queue
 import threading
 import time
@@ -32,6 +34,7 @@ from repro.errors import (
     AttachmentError,
     ImmutabilityError,
     MobilityError,
+    NodeFailure,
     ObjectNotFoundError,
     RemoteInvocationError,
 )
@@ -54,6 +57,8 @@ MOVE_DRAIN_TIMEOUT = 30.0
 #: Derived from REPRO_PEER_TIMEOUT_S (default 30 s -> 120 s here); see
 #: repro.recovery.config.
 DEFAULT_REPLY_TIMEOUT = reply_timeout_s()
+
+log = logging.getLogger(__name__)
 
 
 class ThreadHandle:
@@ -234,9 +239,21 @@ class NodeKernel:
     def _reply_error(self, to_node: int, request_id: int,
                      error: BaseException) -> None:
         try:
-            import pickle
             pickle.dumps(error)
-        except Exception:
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except (pickle.PicklingError, TypeError, AttributeError,
+                RecursionError) as pickling_error:
+            # The error itself cannot cross the wire (unpicklable
+            # payload, custom __reduce__, cyclic state ...).  Replace it
+            # with a picklable stand-in so the caller still gets an
+            # answer, and say so — silently swapping exception types has
+            # burned enough debugging hours already.
+            log.warning(
+                "node %d: %s for request %d is not picklable (%s: %s); "
+                "replying with a RemoteInvocationError stand-in",
+                self.node_id, type(error).__name__, request_id,
+                type(pickling_error).__name__, pickling_error)
             error = RemoteInvocationError(
                 f"{type(error).__name__}: {error}",
                 remote_traceback=traceback.format_exc())
@@ -359,8 +376,22 @@ class NodeKernel:
             elif isinstance(message, m.ControlMsg):
                 self._handle_control(message)
             # Unknown messages are dropped (forward compatibility).
-        except Exception:  # pragma: no cover - last-ditch diagnostics
-            traceback.print_exc()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except NodeFailure:
+            # A dead peer mid-handling is an expected outcome under
+            # fault injection; the requester's reply timeout (or the
+            # failure detector) owns the recovery story.
+            raise
+        except Exception as error:  # pragma: no cover - diagnostics
+            # A handler bug on a worker thread must not kill the node
+            # silently: every request path above replies to its caller
+            # before raising, so whatever reaches here is unexpected.
+            log.error(
+                "node %d: unhandled %s while dispatching %s: %s",
+                self.node_id, type(error).__name__,
+                type(message).__name__, error)
+            log.debug("dispatch traceback:\n%s", traceback.format_exc())
 
     def _forward(self, message, vaddr: int) -> bool:
         """Forward a routed message one hop along the chain.  Returns

@@ -96,6 +96,9 @@ class SimCluster:
         self.access_log: Dict[int, Dict[int, int]] = {}
         #: Optional repro.sim.trace.Tracer receiving kernel events.
         self.tracer = None
+        #: The run's :class:`repro.analyze.sanitizer.Sanitizer`, when
+        #: the program was run with ``sanitize=True`` / ``--sanitize``.
+        self.sanitizer = None
         # The kernel is attached by AmberProgram (import cycle otherwise).
         self.kernel = None
 

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.analyze import runtime as _analysis
 from repro.errors import (
     AmberError,
     AttachmentError,
@@ -804,7 +805,10 @@ class AmberKernel:
             thread.exception = exc
             self._release_cpu(thread)
             joiners, thread.joiners = thread.joiners, []
+            san = _analysis.ACTIVE
             for joiner in joiners:
+                if san is not None:
+                    san.on_join(joiner, thread)
                 joiner.send_value = value
                 joiner.send_exc = exc
                 self._ready(joiner, joiner.location, self.costs.join_us)
@@ -908,11 +912,18 @@ class AmberKernel:
         value = thread.send_value
         thread.send_exc = None
         thread.send_value = None
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.step_begin(thread, activation.obj, activation.method)
         try:
-            if exc is not None:
-                request = gen.throw(exc)
-            else:
-                request = gen.send(value)
+            try:
+                if exc is not None:
+                    request = gen.throw(exc)
+                else:
+                    request = gen.send(value)
+            finally:
+                if san is not None:
+                    san.step_end(thread, activation.obj)
         except StopIteration as stop:
             self._handle_return(thread, stop.value, None)
         except AmberError as error:
@@ -1059,10 +1070,21 @@ class AmberKernel:
                       is_root: bool) -> None:
         target = request.target
         context = InvocationContext(self, thread)
+        san = _analysis.ACTIVE
         try:
             fn = operation_of(target, request.method)
-            result = fn(context, *request.args,
-                        **getattr(request, "kwargs", {}))
+            if san is not None:
+                # Atomic bodies (and generator construction) run as one
+                # sanitizer step on the target object.
+                san.step_begin(thread, target, request.method)
+                try:
+                    result = fn(context, *request.args,
+                                **getattr(request, "kwargs", {}))
+                finally:
+                    san.step_end(thread, target)
+            else:
+                result = fn(context, *request.args,
+                            **getattr(request, "kwargs", {}))
         except Exception as error:
             self._handle_return(thread, None, error, pop=False)
             return
@@ -1208,6 +1230,9 @@ class AmberKernel:
                 f"Start requires an unstarted thread, got {child!r}")
 
         def then() -> None:
+            san = _analysis.ACTIVE
+            if san is not None:
+                san.on_start(thread, child)
             self._ready(child, child.location, self.costs.dispatch_us)
             thread.send_value = child
             self._advance(thread)
@@ -1225,6 +1250,9 @@ class AmberKernel:
                 sc.Invoke(request.target, request.method, *request.args,
                           arg_bytes=request.arg_bytes),
                 True)
+            san = _analysis.ACTIVE
+            if san is not None:
+                san.on_start(thread, child)
             self._ready(child, child.location, self.costs.dispatch_us)
             thread.send_value = child
             self._advance(thread)
@@ -1242,6 +1270,9 @@ class AmberKernel:
             raise InvocationError("a thread cannot join itself")
         if target.done:
             def then() -> None:
+                san = _analysis.ACTIVE
+                if san is not None:
+                    san.on_join(thread, target)
                 thread.send_value = target.result
                 thread.send_exc = target.exception
                 self._advance(thread)
@@ -1252,6 +1283,9 @@ class AmberKernel:
         def block() -> None:
             if target.done:
                 # The target exited while we were entering the wait.
+                san = _analysis.ACTIVE
+                if san is not None:
+                    san.on_join(thread, target)
                 thread.send_value = target.result
                 thread.send_exc = target.exception
                 self._advance(thread)
@@ -1288,6 +1322,9 @@ class AmberKernel:
             raise InvocationError(f"Wakeup target {target!r} is not a thread")
 
         def then() -> None:
+            san = _analysis.ACTIVE
+            if san is not None and not target.done:
+                san.on_wakeup(thread, target)
             if target.state is ThreadState.BLOCKED:
                 self._ready(target, target.location, self.costs.dispatch_us)
             elif not target.done:
@@ -1878,6 +1915,9 @@ class AmberKernel:
             self._relocate_thread_object(thread, node_id)
             node.stats.threads_in += 1
             self._trace("migrate-in", node_id, thread.name, vaddr)
+            san = _analysis.ACTIVE
+            if san is not None:
+                san.on_migrate(thread, node_id, self.sim.now_us)
             self.metrics.observe(
                 "migration_us", self.sim.now_us - thread.transit_start_us)
             self.metrics.observe("forward_chain_hops",

@@ -42,6 +42,13 @@ class SimObject:
     #: Default nominal object size in bytes (descriptor + representation).
     SIZE_BYTES = 256
 
+    #: Whether AmberSan (:mod:`repro.analyze.sanitizer`) tracks this
+    #: class's public instance fields for race/residency checking during
+    #: sanitized runs.  Kernel-internal object kinds (threads, the
+    #: synchronization classes) opt out: their state is synchronization
+    #: machinery, not user data.
+    SANITIZE_FIELDS = True
+
     _vaddr: int
     _home_node: int
     _location: Optional[int]

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+from repro.analyze import runtime as _analysis
 from repro.core.costs import CostModel
 from repro.errors import DeadlockError
 from repro.sim.cluster import ClusterConfig, SimCluster
@@ -74,7 +75,7 @@ class AmberProgram:
 
     def __init__(self, config: Optional[ClusterConfig] = None,
                  costs: Optional[CostModel] = None,
-                 faults=None, recovery=None):
+                 faults=None, recovery=None, sanitize: bool = False):
         self.config = config or ClusterConfig()
         self.costs = costs
         #: Optional repro.faults.plan.FaultPlan applied to the run.
@@ -82,6 +83,12 @@ class AmberProgram:
         #: Optional repro.recovery.config.RecoveryConfig enabling crash
         #: detection, checkpoint/promotion, and thread resurrection.
         self.recovery = recovery
+        #: Observe the run with AmberSan (repro.analyze): happens-before
+        #: race detection, immutable-write and residency checks, and the
+        #: lock-order deadlock predictor.  Purely passive — simulated
+        #: timestamps and results are unchanged.  Read the findings from
+        #: ``result.cluster.sanitizer.report()``.
+        self.sanitize = sanitize
 
     def run(self, main_fn, *args, main_node: int = 0,
             until_us: Optional[float] = None,
@@ -101,7 +108,19 @@ class AmberProgram:
         main_obj = kernel.create_object(_MainObject, (main_fn, args), {},
                                         main_node, None)
         main_thread = kernel.start_main(main_obj, "run", (), main_node)
-        cluster.sim.run(until_us)
+        sanitizer = None
+        if self.sanitize or _analysis.auto_enabled():
+            from repro.analyze.sanitizer import Sanitizer
+            sanitizer = Sanitizer()
+            sanitizer.bind(cluster)
+            _analysis.activate(sanitizer)
+        try:
+            cluster.sim.run(until_us)
+        finally:
+            if sanitizer is not None:
+                _analysis.deactivate()
+                sanitizer.unbind()
+                _analysis.collect(sanitizer)
         if main_thread.state is not ThreadState.DONE:
             raise DeadlockError(_describe_stall(kernel, main_thread))
         if main_thread.exception is not None:
@@ -124,6 +143,8 @@ def run_program(main_fn, *args, nodes: int = 1, cpus_per_node: int = 4,
 
 
 def _describe_stall(kernel: AmberKernel, main_thread: SimThread) -> str:
+    from repro.analyze.lockorder import describe_wait_cycles
+
     lines = ["simulation stalled before the main thread finished:"]
     for thread in kernel.threads:
         if thread.state is ThreadState.DONE:
@@ -132,6 +153,11 @@ def _describe_stall(kernel: AmberKernel, main_thread: SimThread) -> str:
                  f"{thread.stack[-1].method}" if thread.stack else "-")
         lines.append(f"  {thread.name}: {thread.state.value} "
                      f"@node {thread.location}, in {frame}")
-    if main_thread.state is ThreadState.BLOCKED:
-        lines.append("  (likely deadlock: every runnable thread is waiting)")
+    cycle = describe_wait_cycles(kernel)
+    if cycle:
+        lines.extend(f"  {line}" for line in cycle)
+    elif main_thread.state is ThreadState.BLOCKED:
+        lines.append("  (likely deadlock: every runnable thread is "
+                     "waiting, but no lock/join wait-for cycle was "
+                     "found — suspect a lost wakeup)")
     return "\n".join(lines)

@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.analyze import runtime as _analysis
 from repro.errors import SynchronizationError
 from repro.sim.objects import SimObject
 from repro.sim.syscalls import Charge, Compute, Invoke, Suspend, Wakeup
@@ -44,6 +45,7 @@ class Lock(SimObject):
     """A relinquishing (blocking) mutual-exclusion lock."""
 
     SIZE_BYTES = 64
+    SANITIZE_FIELDS = False     # lock state IS the synchronization
 
     def __init__(self) -> None:
         self._held = False
@@ -67,6 +69,9 @@ class Lock(SimObject):
         self.acquisitions += 1
         if contended:
             self.contended_acquisitions += 1
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_acquire(self, ctx.thread)
         ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
     def release(self, ctx):
@@ -77,6 +82,9 @@ class Lock(SimObject):
                 f"{ctx.thread.name}")
         ctx.metrics.observe("lock_hold_us",
                             ctx.now_us - self._acquired_us)
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_release(self, ctx.thread)
         self._held = False
         self._owner = None
         if self._waiters:
@@ -90,6 +98,9 @@ class Lock(SimObject):
         self._owner = ctx.thread
         self._acquired_us = ctx.now_us
         self.acquisitions += 1
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_acquire(self, ctx.thread)
         return True
 
     @property
@@ -108,6 +119,7 @@ class SpinLock(SimObject):
     """
 
     SIZE_BYTES = 64
+    SANITIZE_FIELDS = False
 
     def __init__(self) -> None:
         self._held = False
@@ -126,6 +138,9 @@ class SpinLock(SimObject):
         self._owner = ctx.thread
         self._acquired_us = ctx.now_us
         self.acquisitions += 1
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_acquire(self, ctx.thread)
         ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
     def release(self, ctx):
@@ -136,6 +151,9 @@ class SpinLock(SimObject):
                 f"{ctx.thread.name}")
         ctx.metrics.observe("lock_hold_us",
                             ctx.now_us - self._acquired_us)
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_release(self, ctx.thread)
         self._held = False
         self._owner = None
 
@@ -150,6 +168,7 @@ class Barrier(SimObject):
     the SOR program."""
 
     SIZE_BYTES = 64
+    SANITIZE_FIELDS = False
 
     def __init__(self, parties: int) -> None:
         if parties < 1:
@@ -171,6 +190,9 @@ class Barrier(SimObject):
             self._generation += 1
             self.cycles += 1
             waiting, self._waiting = self._waiting, []
+            san = _analysis.ACTIVE
+            if san is not None:
+                san.on_barrier(self, waiting + [ctx.thread])
             for thread in waiting:
                 yield Wakeup(thread)
             ctx.metrics.observe("barrier_wait_us", 0.0)
@@ -191,6 +213,7 @@ class Monitor(SimObject):
     """
 
     SIZE_BYTES = 64
+    SANITIZE_FIELDS = False
 
     def __init__(self) -> None:
         self._held = False
@@ -209,6 +232,9 @@ class Monitor(SimObject):
         self._owner = ctx.thread
         self._acquired_us = ctx.now_us
         self.entries += 1
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_acquire(self, ctx.thread)
         ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
     def exit(self, ctx):
@@ -219,6 +245,9 @@ class Monitor(SimObject):
                 f"{ctx.thread.name}")
         ctx.metrics.observe("lock_hold_us",
                             ctx.now_us - self._acquired_us)
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_release(self, ctx.thread)
         self._held = False
         self._owner = None
         if self._waiters:
@@ -235,6 +264,7 @@ class CondVar(SimObject):
     it so they stay co-located."""
 
     SIZE_BYTES = 64
+    SANITIZE_FIELDS = False
 
     def __init__(self, monitor: Monitor) -> None:
         self.monitor = monitor
@@ -267,6 +297,7 @@ class ReaderWriterLock(SimObject):
     way the paper expects applications to extend the hierarchy."""
 
     SIZE_BYTES = 64
+    SANITIZE_FIELDS = False
 
     def __init__(self) -> None:
         self._readers = 0
@@ -279,11 +310,17 @@ class ReaderWriterLock(SimObject):
             self._waiters.append(ctx.thread)
             yield Suspend("rwlock-read")
         self._readers += 1
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_acquire(self, ctx.thread, order=False)
 
     def release_read(self, ctx):
         yield Charge(SYNC_OP_US)
         if self._readers <= 0:
             raise SynchronizationError("release_read without readers")
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_release(self, ctx.thread, order=False)
         self._readers -= 1
         if self._readers == 0:
             for thread in self._drain():
@@ -295,11 +332,17 @@ class ReaderWriterLock(SimObject):
             self._waiters.append(ctx.thread)
             yield Suspend("rwlock-write")
         self._writer = ctx.thread
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_acquire(self, ctx.thread)
 
     def release_write(self, ctx):
         yield Charge(SYNC_OP_US)
         if self._writer is not ctx.thread:
             raise SynchronizationError("release_write by non-writer")
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_release(self, ctx.thread)
         self._writer = None
         for thread in self._drain():
             yield Wakeup(thread)

@@ -62,6 +62,9 @@ class SimThread(SimObject):
 
     SIZE_BYTES = 1000   # one network packet, per the Table 1 benchmark note
 
+    #: Thread state is kernel bookkeeping, not user data (AmberSan).
+    SANITIZE_FIELDS = False
+
     def __init__(self, tid: int, name: str = "", priority: int = 0):
         self.tid = tid
         self.name = name or f"thread-{tid}"

@@ -1,0 +1,170 @@
+"""AmberSan dynamic analysis: race detection, immutable-write and
+residency checks, lock-order deadlock prediction, determinism, and
+timing neutrality."""
+
+import pytest
+
+from repro.analyze.fixtures import (
+    run_immutable_write,
+    run_lock_deadlock,
+    run_lock_inversion,
+    run_nonresident_touch,
+    run_racy_counter,
+    run_sync_zoo,
+)
+from repro.analyze.runtime import sanitize_runs
+from repro.analyze.scenario import run_analysis_scenarios
+from repro.errors import DeadlockError
+
+
+def report_of(result):
+    return result.cluster.sanitizer.report()
+
+
+class TestRaceDetection:
+    def test_racy_counter_is_flagged(self):
+        report = report_of(run_racy_counter(seed=0))
+        assert not report.ok
+        assert report.races >= 1
+        rules = {f.rule for f in report.findings}
+        assert rules == {"AMBSAN-RACE"}
+
+    def test_race_finding_names_both_sites(self):
+        report = report_of(run_racy_counter(seed=0))
+        finding = report.findings[0]
+        assert finding.field == "count"
+        assert finding.obj_cls == "Tally"
+        assert finding.site is not None
+        assert finding.prior is not None
+        assert finding.site.file.endswith("fixtures.py")
+        text = finding.render()
+        assert "racing" in text
+        assert "migration history" in text
+
+    def test_locked_counter_is_clean(self):
+        report = report_of(run_racy_counter(seed=0, locked=True))
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_signatures_deterministic_per_seed(self, seed):
+        first = report_of(run_racy_counter(seed=seed)).signatures()
+        second = report_of(run_racy_counter(seed=seed)).signatures()
+        assert first == second
+        assert first  # the race never escapes detection
+
+    def test_signatures_stable_across_seeds(self):
+        seen = {tuple(report_of(run_racy_counter(seed=s)).signatures())
+                for s in (0, 1, 2)}
+        assert len(seen) == 1
+
+    def test_correct_sync_zoo_is_clean(self):
+        result = run_sync_zoo(seed=0)
+        report = report_of(result)
+        assert report.ok, report.render()
+        assert result.value["total"] == 6
+        assert result.value["handoff"] == 41
+
+
+class TestImmutableAndResidency:
+    def test_write_to_replicated_immutable_is_flagged(self):
+        # Regression: a write slipping through after SetImmutable +
+        # MoveTo replication silently diverges the replicas.
+        report = report_of(run_immutable_write(seed=0))
+        rules = [f.rule for f in report.findings]
+        assert rules == ["AMBSAN-IMMUT"]
+        finding = report.findings[0]
+        assert finding.obj_cls == "Config"
+        assert finding.field == "value"
+
+    def test_nonresident_touch_reports_migration_history(self):
+        report = report_of(run_nonresident_touch(seed=0))
+        rules = [f.rule for f in report.findings]
+        assert rules == ["AMBSAN-RESIDENT"]
+        finding = report.findings[0]
+        # The thread hopped 0 -> 1 -> 0 before the bad direct read.
+        assert [node for node, _ in finding.migrations] == [0, 1, 0]
+        assert "node 0" in finding.render()
+        assert "node 1" in finding.render()
+
+
+class TestLockOrder:
+    def test_inversion_reports_cycle_without_deadlock(self):
+        result = run_lock_inversion(seed=0)
+        assert result.value is True      # the run completed
+        report = report_of(result)
+        assert report.order_cycles == 1
+        text = report.render()
+        assert "lock-order cycle" in text
+        assert "order-ab" in text and "order-ba" in text
+        assert "fixtures.py" in text     # acquisition sites named
+
+    def test_true_deadlock_names_waiters_and_holders(self):
+        with pytest.raises(DeadlockError) as excinfo:
+            run_lock_deadlock(seed=0)
+        message = str(excinfo.value)
+        assert "wait-for cycle detected" in message
+        assert "order-ab waits on Lock" in message
+        assert "held by order-ba" in message
+
+
+class TestNeutrality:
+    def test_sanitizer_changes_nothing_observable(self):
+        plain = run_racy_counter(seed=3, sanitize=False)
+        sanitized = run_racy_counter(seed=3, sanitize=True)
+        assert plain.elapsed_us == sanitized.elapsed_us
+        assert plain.value == sanitized.value
+
+    def test_hooks_are_removed_after_the_run(self):
+        from repro.sim.objects import SimObject
+        run_racy_counter(seed=0)
+        assert "__getattribute__" not in SimObject.__dict__
+        assert "__setattr__" not in SimObject.__dict__
+
+    def test_sanitize_runs_collects_each_run(self):
+        with sanitize_runs() as sanitizers:
+            run_racy_counter(seed=0, sanitize=False)
+            run_racy_counter(seed=0, locked=True, sanitize=False)
+        assert len(sanitizers) == 2
+        assert not sanitizers[0].report().ok
+        assert sanitizers[1].report().ok
+
+
+class TestScenarios:
+    def test_all_scenarios_pass(self):
+        report = run_analysis_scenarios(seed=0, fast=True)
+        assert report.ok, report.render()
+        names = [s.name for s in report.scenarios]
+        assert "racy-counter" in names
+        assert "timing-neutral" in names
+
+    def test_report_is_json_friendly(self):
+        import json
+        report = run_analysis_scenarios(seed=0, fast=True)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["ok"] is True
+        racy = next(s for s in payload["scenarios"]
+                    if s["name"] == "racy-counter")
+        assert any("AMBSAN-RACE" in sig for sig in racy["signatures"])
+
+
+class TestAppsClean:
+    @pytest.mark.parametrize("app", ["sor", "queens", "matmul"])
+    def test_bundled_apps_run_sanitizer_clean(self, app):
+        if app == "sor":
+            from repro.apps.sor import SorProblem, run_amber_sor
+            job = lambda: run_amber_sor(
+                SorProblem(rows=24, cols=16, iterations=4),
+                nodes=2, cpus_per_node=2)
+        elif app == "queens":
+            from repro.apps.queens import run_amber_queens
+            job = lambda: run_amber_queens(n=6, nodes=2, cpus_per_node=2)
+        else:
+            from repro.apps.matmul import run_matmul
+            job = lambda: run_matmul(m=24, k=24, n=24, nodes=2,
+                                     cpus_per_node=2)
+        with sanitize_runs() as sanitizers:
+            job()
+        assert sanitizers
+        for sanitizer in sanitizers:
+            report = sanitizer.report()
+            assert report.ok, report.render()

@@ -1,0 +1,208 @@
+"""Static concurrency lint: each AMB rule on purpose-built snippets,
+noqa suppression, and cleanliness of the bundled apps and examples."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.lint import RULES, LintFinding, lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def rules_of(source):
+    return [(f.rule, f.line) for f in lint_source(source, "case.py")]
+
+
+class TestAMB101:
+    def test_early_return_leaks_lock(self):
+        findings = rules_of("""
+def op(self, ctx, lock):
+    yield Invoke(lock, "acquire")
+    if bad():
+        return None
+    yield Invoke(lock, "release")
+""")
+        assert findings == [("AMB101", 3)]
+
+    def test_missing_release_at_function_end(self):
+        assert rules_of("""
+def op(self, ctx, lock):
+    yield Invoke(lock, "acquire")
+    yield Compute(5.0)
+""") == [("AMB101", 3)]
+
+    def test_monitor_enter_without_exit(self):
+        assert rules_of("""
+def op(self, ctx, mon):
+    yield Invoke(mon, "enter")
+    work()
+""") == [("AMB101", 3)]
+
+    def test_matched_conditional_acquire_release_is_clean(self):
+        assert rules_of("""
+def op(self, ctx, lock):
+    if lock is not None:
+        yield Invoke(lock, "acquire")
+    work()
+    if lock is not None:
+        yield Invoke(lock, "release")
+""") == []
+
+    def test_try_finally_release_is_clean(self):
+        assert rules_of("""
+def op(self, ctx, lock):
+    lock.acquire()
+    try:
+        work()
+    finally:
+        lock.release()
+""") == []
+
+    def test_live_idiom_leak(self):
+        assert rules_of("""
+def op(self, lock):
+    lock.acquire()
+    work()
+""") == [("AMB101", 3)]
+
+
+class TestAMB102:
+    def test_wait_without_monitor(self):
+        assert rules_of("""
+def op(self, ctx, mon):
+    cv = yield New(CondVar, mon)
+    yield Invoke(cv, "wait")
+""") == [("AMB102", 4)]
+
+    def test_wait_inside_monitor_is_clean(self):
+        assert rules_of("""
+def op(self, ctx, mon, cond: CondVar):
+    yield Invoke(mon, "enter")
+    yield Invoke(cond, "wait")
+    yield Invoke(mon, "exit")
+""") == []
+
+    def test_non_condvar_wait_is_ignored(self):
+        # barrier.wait / thread.wait with timeouts are not condvars.
+        assert rules_of("""
+def op(self, barrier):
+    barrier.wait(timeout=60)
+""") == []
+
+
+class TestAMB103:
+    def test_fork_without_join(self):
+        assert rules_of("""
+def op(self, ctx, anchor):
+    t = yield Fork(anchor, "run")
+    yield Compute(1.0)
+""") == [("AMB103", 3)]
+
+    def test_fork_with_join_is_clean(self):
+        assert rules_of("""
+def op(self, ctx, anchor):
+    t = yield Fork(anchor, "run")
+    yield Join(t)
+""") == []
+
+    def test_live_thread_join_method_counts(self):
+        assert rules_of("""
+def op(self, kernel):
+    t = kernel.fork(obj, "run")
+    t.join()
+""") == []
+
+
+class TestAMB104:
+    def test_moveto_of_attached_member(self):
+        assert rules_of("""
+def op(self, ctx, index, directory):
+    yield Attach(index, directory)
+    yield MoveTo(index, 1)
+""") == [("AMB104", 4)]
+
+    def test_moving_the_attachment_owner_is_clean(self):
+        assert rules_of("""
+def op(self, ctx, index, directory):
+    yield Attach(index, directory)
+    yield MoveTo(directory, 1)
+""") == []
+
+
+class TestAMB105:
+    def test_join_under_spinlock(self):
+        assert rules_of("""
+def op(self, ctx, t):
+    spin = yield New(SpinLock)
+    yield Invoke(spin, "acquire")
+    yield Join(t)
+    yield Invoke(spin, "release")
+""") == [("AMB105", 5)]
+
+    def test_relinquishing_acquire_under_spinlock(self):
+        assert rules_of("""
+def op(self, ctx, spin: SpinLock, lock):
+    yield Invoke(spin, "acquire")
+    yield Invoke(lock, "acquire")
+    yield Invoke(lock, "release")
+    yield Invoke(spin, "release")
+""") == [("AMB105", 4)]
+
+    def test_blocking_under_plain_lock_is_fine(self):
+        assert rules_of("""
+def op(self, ctx, lock, t):
+    yield Invoke(lock, "acquire")
+    yield Join(t)
+    yield Invoke(lock, "release")
+""") == []
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses_all(self):
+        assert rules_of("""
+def op(self, ctx, lock):
+    yield Invoke(lock, "acquire")  # repro: noqa
+""") == []
+
+    def test_rule_scoped_noqa(self):
+        assert rules_of("""
+def op(self, ctx, anchor):
+    t = yield Fork(anchor, "run")  # repro: noqa[AMB103]
+""") == []
+
+    def test_wrong_rule_noqa_does_not_suppress(self):
+        assert rules_of("""
+def op(self, ctx, anchor):
+    t = yield Fork(anchor, "run")  # repro: noqa[AMB101]
+""") == [("AMB103", 3)]
+
+
+class TestHarness:
+    def test_rule_catalogue_is_complete(self):
+        assert set(RULES) == {"AMB101", "AMB102", "AMB103",
+                              "AMB104", "AMB105"}
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert findings[0].rule == "AMB000"
+
+    def test_finding_render_format(self):
+        finding = LintFinding("apps/x.py", 12, "AMB101", "leaked")
+        assert finding.render() == "apps/x.py:12: AMB101 leaked"
+
+    def test_lint_paths_walks_files_and_dirs(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def op(self, ctx, anchor):\n"
+            "    t = yield Fork(anchor, 'run')\n")
+        findings = lint_paths([str(tmp_path)])
+        assert [(f.rule, f.line) for f in findings] == [("AMB103", 2)]
+
+
+class TestRealCode:
+    @pytest.mark.parametrize("tree", ["src/repro/apps", "examples",
+                                      "src/repro/analyze/fixtures.py"])
+    def test_bundled_code_is_lint_clean(self, tree):
+        findings = lint_paths([str(REPO / tree)])
+        assert findings == [], "\n".join(f.render() for f in findings)
