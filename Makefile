@@ -1,12 +1,25 @@
 # Convenience targets for the Amber reproduction.
 
-.PHONY: install test bench artifacts examples clean
+.PHONY: install test bench artifacts examples lint analyze amber-check \
+	check clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	python -m pytest tests/ -q
+
+lint:
+	PYTHONPATH=src python -m repro lint src/repro/apps examples
+
+analyze:
+	PYTHONPATH=src python -m repro analyze --fast
+
+amber-check:
+	PYTHONPATH=src python -m repro check --fast
+
+# The full static + dynamic + model-checking gauntlet.
+check: lint analyze amber-check
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

@@ -12,6 +12,12 @@ Three cooperating tools (see ``docs/ANALYSIS.md``):
 * :mod:`repro.analyze.lockorder` — a runtime lock-order graph whose
   cycle report predicts deadlocks even on runs that did not deadlock,
   plus the wait-for cycle report behind :class:`DeadlockError`.
+* :mod:`repro.analyze.check` — AmberCheck (``repro check``): a
+  stateless model checker that re-executes a bounded program through
+  every relevantly-distinct thread schedule (dynamic partial-order
+  reduction over recorded scheduling choices), running the sanitizer
+  in each and reporting schedule-dependent races, deadlocks, and
+  terminal-state divergences with minimal replayable choice traces.
 
 The subsystem is enabled per run (``AmberProgram(..., sanitize=True)``,
 ``--sanitize`` on the CLI, or :func:`repro.analyze.runtime.sanitize_runs`)
@@ -37,6 +43,17 @@ _LAZY = {
     "sanitize_runs": ("repro.analyze.runtime", "sanitize_runs"),
     "run_analysis_scenarios": ("repro.analyze.scenario",
                                "run_analysis_scenarios"),
+    "check_program": ("repro.analyze.check", "check_program"),
+    "run_schedule": ("repro.analyze.check", "run_schedule"),
+    "CheckReport": ("repro.analyze.check", "CheckReport"),
+    "CheckFinding": ("repro.analyze.check", "CheckFinding"),
+    "ChoiceController": ("repro.analyze.check", "ChoiceController"),
+    "sample_random_schedules": ("repro.analyze.check",
+                                "sample_random_schedules"),
+    "run_check_scenarios": ("repro.analyze.checkscenario",
+                            "run_check_scenarios"),
+    "CHECK_FIXTURES": ("repro.analyze.checkscenario",
+                       "CHECK_FIXTURES"),
 }
 
 __all__ = sorted(_LAZY)

@@ -21,7 +21,13 @@ from typing import Any, List, Optional
 from repro.sim.cluster import ClusterConfig
 from repro.sim.objects import SimObject
 from repro.sim.program import AmberProgram, ProgramResult
-from repro.sim.sync import Barrier, CondVar, Lock, Monitor
+from repro.sim.sync import (
+    Barrier,
+    CondVar,
+    Lock,
+    Monitor,
+    ReaderWriterLock,
+)
 from repro.sim.syscalls import (
     Compute,
     Fork,
@@ -204,6 +210,44 @@ def run_lock_inversion(seed: int = 0,
     return program.run(main, seed)
 
 
+class RwUser(SimObject):
+    def pair(self, ctx: Any, first: Any, second: Any, mode: str,
+             hold_us: float) -> Any:
+        acquire, release = f"acquire_{mode}", f"release_{mode}"
+        yield Invoke(first, acquire)
+        yield Compute(hold_us)
+        yield Invoke(second, acquire)
+        yield Compute(hold_us)
+        yield Invoke(second, release)
+        yield Invoke(first, release)
+
+
+def run_rw_inversion(seed: int = 0, mode: str = "read",
+                     sanitize: bool = True) -> ProgramResult:
+    """Two threads take a pair of reader-writer locks in opposite
+    orders, *sequentially* (no deadlock possible).  In ``write`` mode
+    this is the classic inversion and must produce a lock-order cycle;
+    in ``read`` mode the acquisitions don't exclude each other, so no
+    AMBSAN-ORDER edge may be recorded at all."""
+
+    def main(ctx: Any, seed: int) -> Any:
+        rng = random.Random(seed)
+        rw_a = yield New(ReaderWriterLock)
+        rw_b = yield New(ReaderWriterLock)
+        hold = round(rng.uniform(1.0, 5.0), 3)
+        for name, first, second in (("rw-ab", rw_a, rw_b),
+                                    ("rw-ba", rw_b, rw_a)):
+            user = yield New(RwUser)
+            thread = yield Fork(user, "pair", first, second, mode,
+                                hold, name=name)
+            yield Join(thread)
+        return True
+
+    program = AmberProgram(ClusterConfig(nodes=1, cpus_per_node=2),
+                           sanitize=sanitize)
+    return program.run(main, seed)
+
+
 def run_lock_deadlock(seed: int = 0,
                       sanitize: bool = False) -> ProgramResult:
     """The same inversion run *concurrently* with holds long enough to
@@ -229,6 +273,74 @@ def run_lock_deadlock(seed: int = 0,
 
 
 # ---------------------------------------------------------------------------
+# Opaque state: __slots__/property members the interposition cannot see
+# ---------------------------------------------------------------------------
+
+
+class SlottedTally(SimObject):
+    """Counter stored in a slot: reads bypass the ``__dict__``-based
+    field hook, so races on it would be silently missed — the sanitizer
+    must flag the class as AMBSAN-OPAQUE instead."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+
+
+class DerivedTally(SimObject):
+    """Counter exposed through a property: values are computed on
+    access and stored nowhere the hooks can observe."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def bump(self) -> None:
+        self._count += 1
+
+
+class SlotBumper(SimObject):
+    def bump(self, ctx: Any, shared: SlottedTally,
+             jitter_us: List[float]) -> Any:
+        for pause in jitter_us:
+            yield Compute(pause)
+            count = shared.count
+            yield Compute(1.0)
+            shared.count = count + 1
+
+
+def run_opaque_state(seed: int = 0, rounds: int = DEFAULT_ROUNDS,
+                     sanitize: bool = True) -> ProgramResult:
+    """Two threads race on a slotted counter (a race the field hooks
+    cannot fully observe) while a property-bearing object sits nearby:
+    both classes must be reported as AMBSAN-OPAQUE."""
+
+    def main(ctx: Any, seed: int) -> Any:
+        rng = random.Random(seed)
+        shared = yield New(SlottedTally)
+        derived = yield New(DerivedTally)
+        jitters = [[round(rng.uniform(0.5, 4.0), 3)
+                    for _ in range(rounds)] for _ in range(2)]
+        threads = []
+        for i in range(2):
+            anchor = yield New(SlotBumper)
+            threads.append((yield Fork(anchor, "bump", shared,
+                                       jitters[i], name=f"slot-{i}")))
+        for thread in threads:
+            yield Join(thread)
+        return (shared.count, derived.count)
+
+    program = AmberProgram(ClusterConfig(nodes=1, cpus_per_node=2),
+                           sanitize=sanitize)
+    return program.run(main, seed)
+
+
+# ---------------------------------------------------------------------------
 # Synchronization zoo: every primitive used correctly => must be clean
 # ---------------------------------------------------------------------------
 
@@ -237,6 +349,7 @@ class Slot(SimObject):
     def __init__(self) -> None:
         self.value = 0
         self.total = 0
+
 
 
 class Phaser(SimObject):
@@ -289,9 +402,13 @@ class Setter(SimObject):
 
 
 def run_sync_zoo(seed: int = 0, rounds: int = 3,
-                 sanitize: bool = True) -> ProgramResult:
+                 sanitize: bool = True,
+                 cpus_per_node: int = 4) -> ProgramResult:
     """Barrier epochs, monitor mutual exclusion, and a condvar handoff,
-    all used correctly: the sanitizer must stay silent."""
+    all used correctly: the sanitizer must stay silent.
+    ``cpus_per_node=1`` serializes the threads so every interleaving is
+    a scheduling choice — the AmberCheck scenario explores that variant
+    to exhaustion."""
 
     def main(ctx: Any, seed: int) -> Any:
         rng = random.Random(seed)
@@ -332,6 +449,179 @@ def run_sync_zoo(seed: int = 0, rounds: int = 3,
         return {"phase_seen": seen, "total": slot.total,
                 "handoff": got}
 
-    program = AmberProgram(ClusterConfig(nodes=1, cpus_per_node=4),
+    program = AmberProgram(
+        ClusterConfig(nodes=1, cpus_per_node=cpus_per_node),
+        sanitize=sanitize)
+    return program.run(main, seed)
+
+
+# ---------------------------------------------------------------------------
+# AmberCheck fixtures: bugs that hide from single-run analysis
+#
+# Both run on a uniprocessor node so the interleaving is fully
+# determined by scheduling choices (dispatch picks and end-of-segment
+# preemptions) — exactly the space repro.analyze.check explores.  On
+# the default FIFO schedule each program is clean; the defect manifests
+# only when the victim thread is preempted inside a brief window.
+# ---------------------------------------------------------------------------
+
+
+class GateBoard(SimObject):
+    """Lock-protected flag plus an unsynchronized payload field."""
+
+    def __init__(self) -> None:
+        self.open = 0
+        self.data = 0
+
+
+class WindowWriter(SimObject):
+    """Opens the gate for one compute segment, writes the payload
+    unsynchronized, then closes the gate.  The window sits at the very
+    *start* of the thread while the chaser observes at the *end* of
+    its decoy work: a random scheduler keeps both threads at similar
+    progress, so catching the window open needs a tail event — the
+    chaser winning nearly every timeslice coin-flip in a row."""
+
+    def run(self, ctx: Any, board: GateBoard, guard: Lock,
+            jitter_us: List[float], window_us: float) -> Any:
+        yield Compute(jitter_us[0])
+        yield Invoke(guard, "acquire")
+        board.open = 1
+        yield Invoke(guard, "release")
+        yield Compute(window_us)
+        board.data = board.data + 1       # unsynchronized on purpose
+        yield Invoke(guard, "acquire")
+        board.open = 0
+        yield Invoke(guard, "release")
+        for pause in jitter_us[1:]:
+            yield Compute(pause)
+
+
+class GateChaser(SimObject):
+    """Observes the gate under the lock; writes the payload (also
+    unsynchronized) only if it caught the gate open."""
+
+    def run(self, ctx: Any, board: GateBoard, guard: Lock,
+            jitter_us: List[float]) -> Any:
+        for pause in jitter_us:
+            yield Compute(pause)
+        yield Invoke(guard, "acquire")
+        seen = board.open
+        yield Invoke(guard, "release")
+        if seen:
+            yield Compute(1.0)
+            board.data = board.data + 10
+        return seen
+
+
+def run_hidden_race(seed: int = 0, decoys: int = 10,
+                    sanitize: bool = True) -> ProgramResult:
+    """A data race on ``board.data`` that manifests only if the chaser's
+    gate observation lands inside the writer's one-segment window —
+    rare under random scheduling, clean on the default schedule, found
+    deterministically by AmberCheck."""
+
+    def main(ctx: Any, seed: int) -> Any:
+        rng = random.Random(seed)
+        board = yield New(GateBoard)
+        guard = yield New(Lock)
+        jitters = [[round(rng.uniform(0.5, 3.0), 3)
+                    for _ in range(decoys)] for _ in range(2)]
+        writer = yield New(WindowWriter)
+        chaser = yield New(GateChaser)
+        tw = yield Fork(writer, "run", board, guard, jitters[0],
+                        round(rng.uniform(2.0, 5.0), 3), name="opener")
+        tc = yield Fork(chaser, "run", board, guard, jitters[1],
+                        name="chaser")
+        seen = yield Join(tc)
+        yield Join(tw)
+        return {"data": board.data, "seen": seen}
+
+    program = AmberProgram(ClusterConfig(nodes=1, cpus_per_node=1),
+                           sanitize=sanitize)
+    return program.run(main, seed)
+
+
+class ModeBoard(SimObject):
+    def __init__(self) -> None:
+        self.mode = 0
+
+
+class ModeFlipper(SimObject):
+    """Transiently publishes mode=1 (early — see
+    :class:`WindowWriter`), then takes A before B."""
+
+    def run(self, ctx: Any, board: ModeBoard, guard: Lock,
+            lock_a: Lock, lock_b: Lock, jitter_us: List[float],
+            window_us: float) -> Any:
+        yield Compute(jitter_us[0])
+        yield Invoke(guard, "acquire")
+        board.mode = 1
+        yield Invoke(guard, "release")
+        yield Compute(window_us)
+        yield Invoke(guard, "acquire")
+        board.mode = 0
+        yield Invoke(guard, "release")
+        for pause in jitter_us[1:]:
+            yield Compute(pause)
+        yield Invoke(lock_a, "acquire")
+        yield Compute(3.0)
+        yield Invoke(lock_b, "acquire")
+        yield Compute(1.0)
+        yield Invoke(lock_b, "release")
+        yield Invoke(lock_a, "release")
+
+
+class ModeFollower(SimObject):
+    """Takes the two locks in an order *decided by* the observed mode:
+    B before A only if it caught the transient mode=1."""
+
+    def run(self, ctx: Any, board: ModeBoard, guard: Lock,
+            lock_a: Lock, lock_b: Lock,
+            jitter_us: List[float]) -> Any:
+        for pause in jitter_us:
+            yield Compute(pause)
+        yield Invoke(guard, "acquire")
+        seen = board.mode
+        yield Invoke(guard, "release")
+        first, second = ((lock_b, lock_a) if seen
+                         else (lock_a, lock_b))
+        yield Invoke(first, "acquire")
+        yield Compute(3.0)
+        yield Invoke(second, "acquire")
+        yield Compute(1.0)
+        yield Invoke(second, "release")
+        yield Invoke(first, "release")
+        return seen
+
+
+def run_hidden_deadlock(seed: int = 0, decoys: int = 10,
+                        sanitize: bool = True) -> ProgramResult:
+    """A deadlock reachable only through a double coincidence: the
+    follower must observe the transient mode=1 (inverting its lock
+    order), and the two lock phases must then interleave fatally.  The
+    default schedule is clean — same lock order, no cycle, no stall —
+    so single-run ``repro analyze`` cannot see it."""
+
+    def main(ctx: Any, seed: int) -> Any:
+        rng = random.Random(seed)
+        board = yield New(ModeBoard)
+        guard = yield New(Lock)
+        lock_a = yield New(Lock)
+        lock_b = yield New(Lock)
+        jitters = [[round(rng.uniform(0.5, 3.0), 3)
+                    for _ in range(decoys)] for _ in range(2)]
+        flipper = yield New(ModeFlipper)
+        follower = yield New(ModeFollower)
+        tf = yield Fork(flipper, "run", board, guard, lock_a, lock_b,
+                        jitters[0], round(rng.uniform(2.0, 5.0), 3),
+                        name="flipper")
+        tg = yield Fork(follower, "run", board, guard, lock_a, lock_b,
+                        jitters[1], name="follower")
+        seen = yield Join(tg)
+        yield Join(tf)
+        return {"seen": seen}
+
+    program = AmberProgram(ClusterConfig(nodes=1, cpus_per_node=1),
                            sanitize=sanitize)
     return program.run(main, seed)

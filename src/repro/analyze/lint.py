@@ -1,6 +1,6 @@
 """Static AST lint for Amber concurrency idioms (``repro lint``).
 
-Five rules, covering the mistakes the simulator's sanitizer only
+Seven rules, covering the mistakes the simulator's sanitizer only
 catches once a run trips over them:
 
 ==========  ============================================================
@@ -9,6 +9,9 @@ AMB102      ``CondVar.wait`` called without holding a monitor/lock
 AMB103      thread forked but never joined in the same function
 AMB104      ``MoveTo`` of an object previously ``Attach``-ed to another
 AMB105      blocking operation while holding a ``SpinLock``
+AMB106      ``Barrier`` participant count can never match the number of
+            threads forked in the same function
+AMB107      the same thread handle joined twice
 ==========  ============================================================
 
 Both the simulator idiom (``yield Invoke(lock, "acquire")``) and the
@@ -36,6 +39,8 @@ RULES: Dict[str, str] = {
     "AMB103": "thread forked/started but never joined",
     "AMB104": "MoveTo of an object Attach-ed to another",
     "AMB105": "blocking operation while holding a SpinLock",
+    "AMB106": "Barrier parties never matches forked threads in scope",
+    "AMB107": "thread handle joined twice",
 }
 
 #: acquire-like method -> its release-like partner.
@@ -246,6 +251,8 @@ class _FunctionLinter:
                          "at function exit")
         self._scan_forks(body)
         self._scan_moves(body)
+        self._scan_barriers(body)
+        self._scan_joins(body)
         return self.findings
 
     def _walk(self, stmts: List[ast.stmt],
@@ -423,6 +430,291 @@ class _FunctionLinter:
                         f"MoveTo of '{_pretty_key(key)}', which was "
                         f"Attach-ed at line {attached[key]}; move the "
                         f"attachment owner instead")
+
+    def _scan_barriers(self, body: List[ast.stmt]) -> None:
+        """AMB106: a Barrier built with a constant party count that can
+        never be satisfied by the threads forked in this function.
+
+        Only fires when every fork site is statically countable (loop
+        trip counts resolvable, no forks under conditionals) and at
+        least one thread is forked; the count may match either the
+        forked threads alone or forked threads plus the forking thread
+        itself (the common SOR master-participates idiom)."""
+        barriers: List[Tuple[int, int]] = []
+        for node in _walk_own(body):
+            if isinstance(node, ast.Call):
+                parties = _barrier_parties(node)
+                if parties is not None:
+                    barriers.append((node.lineno, parties))
+        if not barriers:
+            return
+        forks = _count_forks(body)
+        if not forks:       # zero forked or not statically countable
+            return
+        for line, parties in barriers:
+            if parties not in (forks, forks + 1):
+                self.report(
+                    "AMB106", line,
+                    f"Barrier({parties}) can never be satisfied: "
+                    f"{forks} thread(s) forked in this function "
+                    f"(expected {forks}, or {forks + 1} when the "
+                    f"forking thread participates)")
+
+    def _scan_joins(self, body: List[ast.stmt]) -> None:
+        """AMB107: a thread handle joined twice — the second join hangs
+        forever in the live runtime (the thread is already gone)."""
+        self._join_walk(body, {}, {})
+
+    def _join_walk(self, stmts: List[ast.stmt],
+                   handles: Dict[str, int],
+                   joined: Dict[str, int]) -> Dict[str, int]:
+        """Statement-order walk tracking fork-produced handles and the
+        line of each handle's first join; returns the definitely-joined
+        map at the end of the block.  Branch joins merge by
+        intersection (a join on only one path is not a sure first
+        join); loop bodies run twice so a join inside a loop over an
+        outer handle sees its own first pass."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for key, line in _join_targets(stmt):
+                if key not in handles:
+                    continue
+                if key in joined:
+                    self.report(
+                        "AMB107", line,
+                        f"thread handle '{_pretty_key(key)}' joined "
+                        f"again (first joined at line {joined[key]}); "
+                        f"the second join waits forever")
+                else:
+                    joined[key] = line
+            for key, fork_line in _handle_assignments(stmt):
+                if fork_line:
+                    handles[key] = fork_line
+                else:
+                    handles.pop(key, None)
+                joined.pop(key, None)
+            if isinstance(stmt, ast.If):
+                branch_a = self._join_walk(stmt.body, handles,
+                                           dict(joined))
+                branch_b = self._join_walk(stmt.orelse, handles,
+                                           dict(joined))
+                joined = {key: line
+                          for key, line in branch_a.items()
+                          if key in branch_b}
+            elif isinstance(stmt, (ast.For, ast.While)):
+                if isinstance(stmt, ast.For):
+                    for target in ast.walk(stmt.target):
+                        if isinstance(target, (ast.Name, ast.Attribute)):
+                            handles.pop(_expr_key(target), None)
+                            joined.pop(_expr_key(target), None)
+                once = self._join_walk(stmt.body, handles, dict(joined))
+                self._join_walk(stmt.body, handles, dict(once))
+                self._join_walk(stmt.orelse, handles, dict(joined))
+            elif isinstance(stmt, ast.Try):
+                outcome = self._join_walk(stmt.body, handles,
+                                          dict(joined))
+                for handler in stmt.handlers:
+                    self._join_walk(handler.body, handles, dict(joined))
+                outcome = self._join_walk(stmt.orelse, handles, outcome)
+                joined = self._join_walk(stmt.finalbody, handles,
+                                         outcome)
+            elif isinstance(stmt, ast.With):
+                joined = self._join_walk(stmt.body, handles, joined)
+        return joined
+
+
+def _own_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The statement's own expressions: everything for a simple
+    statement, only the header for a compound one."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, ast.For):
+        return [stmt.iter]
+    if isinstance(stmt, ast.With):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef, ast.Try)):
+        return []
+    return [stmt]
+
+
+def _walk_own(body: List[ast.stmt]) -> Iterable[ast.AST]:
+    """Walk every node in ``body`` except nested function/class
+    bodies (they are linted as their own scopes)."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_fork_call(call: ast.Call) -> bool:
+    if _call_name(call) in _FORK_NAMES:
+        return True
+    attr = _call_method(call)
+    return attr is not None and attr[1] in _FORK_METHODS
+
+
+def _barrier_parties(call: ast.Call) -> Optional[int]:
+    """Constant party count of a ``Barrier(N)`` / ``New(Barrier, N)``
+    construction, or None when not a barrier or not constant."""
+    name = _call_name(call)
+    if name == "Barrier":
+        args = list(call.args)
+    elif (name == "New" and call.args
+          and isinstance(call.args[0], ast.Name)
+          and call.args[0].id == "Barrier"):
+        args = list(call.args[1:])
+    else:
+        return None
+    candidates = args[:1] + [kw.value for kw in call.keywords
+                             if kw.arg == "parties"]
+    for node in candidates:
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, int)
+                and not isinstance(node.value, bool)):
+            return node.value
+    return None
+
+
+def _range_len(node: ast.AST) -> Optional[int]:
+    """Trip count of a ``range(...)`` call with constant bounds."""
+    if not (isinstance(node, ast.Call) and _call_name(node) == "range"):
+        return None
+    bounds: List[int] = []
+    for arg in node.args:
+        if (isinstance(arg, ast.Constant)
+                and isinstance(arg.value, int)
+                and not isinstance(arg.value, bool)):
+            bounds.append(arg.value)
+        else:
+            return None
+    if len(bounds) == 1:
+        return max(0, bounds[0])
+    if len(bounds) == 2:
+        return max(0, bounds[1] - bounds[0])
+    if len(bounds) == 3 and bounds[2] != 0:
+        step = bounds[2]
+        span = (bounds[1] - bounds[0]) if step > 0 \
+            else (bounds[0] - bounds[1])
+        return max(0, -(-span // abs(step)))
+    return None
+
+
+def _count_forks(stmts: List[ast.stmt]) -> Optional[int]:
+    """Statically-known number of threads forked by ``stmts``; None
+    when any fork site is uncountable (variable trip count, fork under
+    a conditional or exception handler, unequal branches)."""
+    total = 0
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        own = 0
+        for expr in _own_exprs(stmt):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call) and _is_fork_call(node):
+                    own += 1
+        if isinstance(stmt, ast.For):
+            inner = _count_forks(stmt.body)
+            tail = _count_forks(stmt.orelse)
+            if inner is None or tail is None:
+                return None
+            if inner:
+                mult = _range_len(stmt.iter)
+                if mult is None:
+                    return None
+                inner *= mult
+            total += own + inner + tail
+        elif isinstance(stmt, ast.While):
+            inner = _count_forks(stmt.body)
+            if inner is None or inner:
+                return None
+            total += own
+        elif isinstance(stmt, ast.If):
+            then = _count_forks(stmt.body)
+            alt = _count_forks(stmt.orelse)
+            if then is None or alt is None or then != alt:
+                return None
+            total += own + then
+        elif isinstance(stmt, ast.Try):
+            parts = [_count_forks(stmt.body),
+                     _count_forks(stmt.orelse),
+                     _count_forks(stmt.finalbody)]
+            if any(part is None for part in parts):
+                return None
+            for handler in stmt.handlers:
+                inside = _count_forks(handler.body)
+                if inside is None or inside:
+                    return None
+            total += own + sum(part or 0 for part in parts)
+        elif isinstance(stmt, ast.With):
+            inner = _count_forks(stmt.body)
+            if inner is None:
+                return None
+            total += own + inner
+        else:
+            total += own
+    return total
+
+
+def _join_targets(stmt: ast.stmt) -> List[Tuple[str, int]]:
+    """Receiver keys of every join in the statement's own expressions,
+    in source order: ``Join(t)``, ``Invoke(t, "join")``, ``t.join()``."""
+    out: List[Tuple[str, int]] = []
+
+    def classify(call: ast.Call) -> None:
+        name = _call_name(call)
+        if name == "Join" and call.args:
+            out.append((_expr_key(call.args[0]), call.lineno))
+            return
+        if name in ("Invoke", "FastInvoke") and len(call.args) >= 2 \
+                and _const_str(call.args[1]) == "join":
+            out.append((_expr_key(call.args[0]), call.lineno))
+            return
+        attr = _call_method(call)
+        if attr is not None and attr[1] == "join":
+            out.append((_expr_key(attr[0]), call.lineno))
+
+    for expr in _own_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                classify(node)
+    return out
+
+
+def _handle_assignments(stmt: ast.stmt) -> List[Tuple[str, int]]:
+    """Assignment targets of this statement: ``(key, fork line)`` when
+    the assigned value forks a thread, ``(key, 0)`` for any other
+    reassignment (which retires the old handle)."""
+    pairs: List[Tuple[ast.expr, ast.expr]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            pairs.append((target, stmt.value))
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        pairs.append((stmt.target, stmt.value))
+    elif isinstance(stmt, ast.AugAssign):
+        pairs.append((stmt.target, stmt.value))
+    out: List[Tuple[str, int]] = []
+    for target, value in pairs:
+        fork_line = 0
+        for node in ast.walk(value):
+            if isinstance(node, ast.Call) and _is_fork_call(node):
+                fork_line = node.lineno
+                break
+        targets: List[ast.expr] = [target]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            targets = list(target.elts)
+            fork_line = 0   # cannot tell which element got the handle
+        for tgt in targets:
+            if isinstance(tgt, (ast.Name, ast.Attribute)):
+                out.append((_expr_key(tgt), fork_line))
+    return out
 
 
 _NAME_RE = re.compile(r"Name\(id='([^']+)'")

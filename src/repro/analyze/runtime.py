@@ -1,28 +1,39 @@
-"""Per-process registry of the active sanitizer.
+"""Per-process registry of the active sanitizer and schedule controller.
 
 This module is imported by the simulator's hot paths (``sim.kernel``,
-``sim.sync``) and therefore imports nothing outside the standard
-library: the hooks read :data:`ACTIVE` and bail on ``None``, so an
-unsanitized run pays a single module-attribute load per hook site.
+``sim.sync``, ``sim.network``) and therefore imports nothing outside
+the standard library: the hooks read :data:`ACTIVE` / :data:`CONTROLLER`
+and bail on ``None``, so an uninstrumented run pays a single
+module-attribute load per hook site.
 
 Exactly one sanitizer can be active at a time (the simulator is
 single-threaded, and a sanitizer's class-level attribute hooks are
-process-global).
+process-global), and likewise exactly one schedule controller — the
+:class:`repro.analyze.check.ChoiceController` that AmberCheck installs
+to record and force scheduling decisions.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analyze.check import ChoiceController
     from repro.analyze.sanitizer import Sanitizer
 
 #: The sanitizer observing the currently running simulation, if any.
 ACTIVE: Optional["Sanitizer"] = None
 
+#: The schedule controller driving the currently running simulation, if
+#: any.  Consulted by the kernel (preemption points), the sync objects
+#: (waiter hand-off), the network (delivery order), and the
+#: :class:`repro.sim.scheduler.ControlledScheduler` (ready-queue picks).
+CONTROLLER: Optional["ChoiceController"] = None
+
 _AUTO: bool = False
 _COLLECTED: Optional[List["Sanitizer"]] = None
+_SANITIZER_FACTORY: Optional[Callable[[], "Sanitizer"]] = None
 
 
 def activate(sanitizer: "Sanitizer") -> None:
@@ -40,6 +51,41 @@ def deactivate() -> None:
 
 def active() -> Optional["Sanitizer"]:
     return ACTIVE
+
+
+def install_controller(controller: "ChoiceController") -> None:
+    """Make ``controller`` the process-wide schedule controller."""
+    global CONTROLLER
+    if CONTROLLER is not None:
+        raise RuntimeError("a schedule controller is already installed")
+    CONTROLLER = controller
+
+
+def uninstall_controller() -> None:
+    global CONTROLLER
+    CONTROLLER = None
+
+
+def controller() -> Optional["ChoiceController"]:
+    return CONTROLLER
+
+
+def set_sanitizer_factory(
+        factory: Optional[Callable[[], "Sanitizer"]]) -> None:
+    """Override the sanitizer class instantiated per sanitized run —
+    AmberCheck installs a tracing subclass that additionally logs the
+    access/lock event stream its dependence analysis needs."""
+    global _SANITIZER_FACTORY
+    _SANITIZER_FACTORY = factory
+
+
+def make_sanitizer() -> "Sanitizer":
+    """Build the sanitizer for one run (factory override or default)."""
+    if _SANITIZER_FACTORY is not None:
+        return _SANITIZER_FACTORY()
+    from repro.analyze.sanitizer import Sanitizer
+
+    return Sanitizer()
 
 
 def auto_enabled() -> bool:

@@ -45,6 +45,13 @@ run's metrics registry and tracer):
 ``AMBSAN-ORDER``
     A cycle in the lock-order graph (potential deadlock), reported even
     when the run did not deadlock.
+``AMBSAN-OPAQUE``
+    A sanitize-tracked class keeps public state where the class-level
+    interposition cannot see it: a public ``__slots__`` entry (reads
+    bypass the ``__dict__`` membership check) or a public ``property``
+    (values are computed, never stored).  Accesses to such members are
+    silently *not* race-checked, so the class is flagged instead of
+    being half-covered.
 
 The sanitizer is passive: it never schedules events, charges costs, or
 draws randomness, so ``--sanitize`` changes no simulated timestamps.
@@ -202,6 +209,8 @@ class Sanitizer:
         self._held: Dict[int, Dict[int, Site]] = {}
         self._migrations: Dict[int, List[Tuple[int, float]]] = {}
         self._busy = False
+        #: Per-class cache of opaque public members (slots/properties).
+        self._opaque_cache: Dict[type, Tuple[Tuple[str, str], ...]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -249,6 +258,8 @@ class Sanitizer:
         if vaddr is None:  # unregistered object: untracked
             vaddr = -id(obj)
         self.steps += 1
+        if type(obj).SANITIZE_FIELDS:
+            self._check_opaque(type(obj), vaddr)
         tid = thread.tid
         vc = self._vc(tid, thread)
         step = self._sync.get(("step", vaddr))
@@ -289,6 +300,14 @@ class Sanitizer:
         tvc = self._vc(target.tid, target)
         jvc = self._vc(joiner.tid, joiner)
         jvc.join(tvc)
+
+    def on_create(self, obj: Any) -> None:
+        """A ``New`` registered ``obj``: flag classes whose public
+        state the field interposition cannot track (AMBSAN-OPAQUE)."""
+        if type(obj).SANITIZE_FIELDS:
+            vaddr = obj.__dict__.get("_vaddr")
+            self._check_opaque(type(obj),
+                               vaddr if vaddr is not None else -id(obj))
 
     def on_wakeup(self, waker: Any, target: Any) -> None:
         """Wakeup (Suspend/Wakeup, CondVar.signal): waker -> woken."""
@@ -441,6 +460,26 @@ class Sanitizer:
     def in_step(self) -> bool:
         return bool(self._current)
 
+    def _check_opaque(self, cls: type, vaddr: int) -> None:
+        """Flag public members the field interposition cannot track
+        (see ``AMBSAN-OPAQUE`` in the module docstring) instead of
+        silently skipping their accesses."""
+        opaque = self._opaque_cache.get(cls)
+        if opaque is None:
+            opaque = _opaque_members(cls)
+            self._opaque_cache[cls] = opaque
+        for kind, name in opaque:
+            self._report(Finding(
+                rule="AMBSAN-OPAQUE",
+                obj_cls=cls.__name__, obj_vaddr=vaddr, field=name,
+                message=(f"public {kind} {cls.__name__}.{name} is "
+                         f"invisible to the field interposition: "
+                         f"accesses to it are NOT race-checked "
+                         f"(store shared state in plain instance "
+                         f"fields, or set SANITIZE_FIELDS = False "
+                         f"and synchronize by hand)"),
+                site=None))
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -527,6 +566,33 @@ class Sanitizer:
         frame = gen.gi_frame
         where = f"{type(caller.obj).__name__}.{caller.method}"
         return Site(frame.f_code.co_filename, frame.f_lineno, where)
+
+
+def _opaque_members(cls: type) -> Tuple[Tuple[str, str], ...]:
+    """Public members of ``cls`` (strictly below ``SimObject``) that
+    the class-level interposition cannot observe.
+
+    ``__slots__`` entries never appear in the instance ``__dict__``, so
+    :func:`_tracked_getattribute` bails out before recording the read;
+    ``property`` values are computed on access and stored nowhere, so
+    neither hook ever fires for them.
+    """
+    from repro.sim.objects import SimObject
+
+    members: Set[Tuple[str, str]] = set()
+    for klass in cls.__mro__:
+        if klass is SimObject:
+            break
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if not name.startswith("_"):
+                members.add(("__slots__ entry", name))
+        for name, value in klass.__dict__.items():
+            if isinstance(value, property) and not name.startswith("_"):
+                members.add(("property", name))
+    return tuple(sorted(members))
 
 
 # ---------------------------------------------------------------------------

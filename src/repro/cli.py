@@ -22,6 +22,13 @@
                                               # scenarios (docs/ANALYSIS.md)
     python -m repro analyze --workload sor --fast
                                               # sanitize one workload
+    python -m repro check [--fast] [--seed N] [--budget N]
+                                              # AmberCheck schedule
+                                              # exploration scenarios
+    python -m repro check --fixture hidden-race
+                                              # explore one fixture
+    python -m repro check --fixture hidden-race --replay 0,0,0,1
+                                              # replay a choice trace
     python -m repro lint [paths...]           # concurrency AST lint
 
 ``trace`` and ``profile`` also accept ``--sanitize`` to run the
@@ -193,6 +200,79 @@ def _cmd_analyze(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_check(args) -> int:
+    import json
+
+    from repro.analyze.checkscenario import (
+        CHECK_FIXTURES,
+        run_check_scenarios,
+    )
+
+    if args.replay is not None and not args.fixture:
+        print("--replay requires --fixture", file=sys.stderr)
+        return 2
+
+    if args.fixture:
+        from repro.analyze.check import check_program, run_schedule
+        fixture = CHECK_FIXTURES[args.fixture]
+        seed = args.seed
+
+        def program_fn():
+            return fixture(seed)
+
+        if args.replay is not None:
+            choices = [int(token) for token in
+                       args.replay.replace(",", " ").split()]
+            outcome = run_schedule(program_fn, choices)
+            print(f"replayed {args.fixture} (seed {seed}) with "
+                  f"trace {choices}")
+            print(f"  status: {outcome.status}")
+            if outcome.value_repr:
+                print(f"  value: {outcome.value_repr}")
+            if outcome.diverged:
+                print("  WARNING: trace diverged from the recorded "
+                      "schedule")
+            for line in outcome.detail.splitlines():
+                print(f"  {line}")
+            for _, rendered in outcome.findings:
+                print()
+                print(rendered)
+            if args.json:
+                with open(args.json, "w") as handle:
+                    json.dump({
+                        "fixture": args.fixture, "seed": seed,
+                        "trace": choices, "status": outcome.status,
+                        "value": outcome.value_repr,
+                        "diverged": outcome.diverged,
+                        "choices": outcome.choices,
+                        "signatures": outcome.signatures(),
+                    }, handle, indent=2)
+                print(f"\nreplay written to {args.json}")
+            clean = (outcome.status == "ok" and not outcome.findings
+                     and not outcome.diverged)
+            return 0 if clean else 1
+
+        report = check_program(program_fn, name=args.fixture,
+                               budget=args.budget,
+                               dpor=not args.exhaustive,
+                               progress=print)
+        print(report.render())
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report.as_dict(), handle, indent=2)
+            print(f"\nreport written to {args.json}")
+        return 0 if report.ok else 1
+
+    report = run_check_scenarios(seed=args.seed, fast=args.fast,
+                                 budget=args.budget)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nreport written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.analyze.lint import RULES, lint_paths
 
@@ -294,6 +374,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="dump the report (verdicts + finding "
                          "signatures) as JSON")
 
+    cp = sub.add_parser("check",
+                        help="AmberCheck: explore all relevantly-"
+                             "distinct thread schedules of the bounded "
+                             "fixtures (DPOR model checking) and print "
+                             "a pass/fail report")
+    cp.add_argument("--fast", action="store_true",
+                    help="fewer random-rarity samples, skip the "
+                         "bundled-apps sweep (CI smoke)")
+    cp.add_argument("--seed", type=int, default=0,
+                    help="fixture jitter seed (default: 0)")
+    cp.add_argument("--budget", type=int, default=2000,
+                    help="max schedules to explore (default: 2000)")
+    cp.add_argument("--fixture", choices=sorted(
+                        "hidden-race hidden-deadlock locked-counter "
+                        "sync-zoo".split()), default=None,
+                    help="instead of the scenarios, explore one "
+                         "fixture and report its findings")
+    cp.add_argument("--exhaustive", action="store_true",
+                    help="with --fixture: full enumeration instead of "
+                         "dynamic partial-order reduction")
+    cp.add_argument("--replay", metavar="TRACE", default=None,
+                    help="with --fixture: replay a recorded choice "
+                         "trace (comma-separated indices, e.g. "
+                         "'0,0,1') instead of exploring")
+    cp.add_argument("--json", metavar="PATH", default=None,
+                    help="dump the report as JSON")
+
     lp = sub.add_parser("lint",
                         help="static concurrency lint (AMB101-AMB105) "
                              "over Amber programs")
@@ -313,6 +420,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "lint":
         return _cmd_lint(args)
 

@@ -166,6 +166,9 @@ class AmberKernel:
         self.cluster.objects[vaddr] = obj
         node.descriptors.set_resident(vaddr)
         node.stats.objects_created += 1
+        san = _analysis.ACTIVE
+        if san is not None:
+            san.on_create(obj)
         if self._checkpointing_on() and self.checkpoints.eligible(obj):
             # Baseline epoch at birth: even an object that is never
             # quiescent again (a barrier with perpetual waiters) has a
@@ -854,6 +857,8 @@ class AmberKernel:
             thread.slice_left_us -= run
             if thread.pending_compute_us <= 1e-12:
                 thread.pending_compute_us = 0.0
+                if self._controller_preempts(thread):
+                    return
                 self._advance(thread)
                 return
             node = self.cluster.node(thread.location)
@@ -865,6 +870,29 @@ class AmberKernel:
                 self._preempt_for_quantum(thread)
 
         self._charge(thread, run, done, preemptible=True)
+
+    def _controller_preempts(self, thread: SimThread) -> bool:
+        """AmberCheck hook: a compute segment just finished and other
+        threads are runnable, so preempting here (instead of letting the
+        thread run on into its next operation step) is a schedule
+        exploration choice.  Without an installed
+        :mod:`repro.analyze.check` controller the stock timeslice
+        semantics apply unchanged and this is a single attribute load."""
+        controller = _analysis.CONTROLLER
+        if controller is None:
+            return False
+        node = self.cluster.node(thread.location)
+        if len(node.scheduler) == 0:
+            return False
+        names = getattr(node.scheduler, "thread_names", None)
+        queued = tuple(names()) if names is not None else ()
+        chosen = controller.choose(
+            "preempt", f"node{node.id}:{thread.name}",
+            ("continue", "preempt"), queued=queued)
+        if chosen == 0:
+            return False
+        self._preempt_for_quantum(thread)
+        return True
 
     def _preempt_for_quantum(self, thread: SimThread) -> None:
         node = self.cluster.node(thread.location)

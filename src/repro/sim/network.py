@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.analyze import runtime as _analysis
 from repro.core.costs import CostModel
 from repro.errors import SimulationError
 from repro.obs.metrics import MetricsRegistry
@@ -186,9 +187,22 @@ class Ethernet:
                 self._inflight -= 1
                 deliver()
 
-            sim.schedule_at_ns(delivery_ns, delivered)
+            self._schedule_delivery(delivery_ns, src, dst, delivered)
         else:
-            sim.schedule_at_ns(delivery_ns, deliver)
+            self._schedule_delivery(delivery_ns, src, dst, deliver)
+
+    def _schedule_delivery(self, delivery_ns: int, src: int, dst: int,
+                           deliver: Callable[[], None]) -> None:
+        """Hand the delivery to the engine — or, with an AmberCheck
+        controller installed, to its delivery-order override, which
+        turns the arrival order of same-time messages into a recorded,
+        replayable choice point."""
+        controller = _analysis.CONTROLLER
+        if controller is None:
+            self._sim.schedule_at_ns(delivery_ns, deliver)
+        else:
+            controller.schedule_delivery(self._sim, delivery_ns,
+                                         src, dst, deliver)
 
     def uncontended_wire_us(self, nbytes: int) -> float:
         """Delivery time for one message on an idle wire (for predictions)."""

@@ -104,14 +104,22 @@ class AmberProgram:
                              recovery=self.recovery)
         cluster.tracer = tracer
         cluster.network.tracer = tracer
+        controller = _analysis.CONTROLLER
+        if controller is not None:
+            # AmberCheck drives this run: every node's ready queue
+            # becomes a ControlledScheduler so dispatch picks are
+            # recorded (and forceable) choice points.
+            from repro.sim.scheduler import ControlledScheduler
+            for node in cluster.nodes:
+                node.set_scheduler(ControlledScheduler(controller,
+                                                       node.id))
         kernel = AmberKernel(cluster)
         main_obj = kernel.create_object(_MainObject, (main_fn, args), {},
                                         main_node, None)
         main_thread = kernel.start_main(main_obj, "run", (), main_node)
         sanitizer = None
         if self.sanitize or _analysis.auto_enabled():
-            from repro.analyze.sanitizer import Sanitizer
-            sanitizer = Sanitizer()
+            sanitizer = _analysis.make_sanitizer()
             sanitizer.bind(cluster)
             _analysis.activate(sanitizer)
         try:

@@ -95,6 +95,58 @@ class LifoScheduler(Scheduler):
         return len(self._stack)
 
 
+class ControlledScheduler(Scheduler):
+    """A ready queue whose dequeue picks are made by an external chooser.
+
+    This is AmberCheck's entry into the paper's user-replaceable-
+    scheduler hook: the model checker installs one per node, and every
+    dispatch becomes a recorded (and replayable) choice point.  The
+    queue preserves arrival order; ``chooser.choose`` returns the index
+    of the thread to run next — index 0 reproduces FIFO behaviour, so a
+    run with all-default choices matches the stock scheduler's order.
+    """
+
+    def __init__(self, chooser, node_id: int) -> None:
+        #: Anything with ``choose(kind, where, options, queued=())``
+        #: returning an index — see repro.analyze.check.ChoiceController.
+        self._chooser = chooser
+        self._node_id = node_id
+        self._queue: List[SimThread] = []
+
+    def enqueue(self, thread: SimThread) -> None:
+        self._queue.append(thread)
+
+    def dequeue(self) -> Optional[SimThread]:
+        if not self._queue:
+            return None
+        index = self._chooser.choose(
+            "pick", f"node{self._node_id}",
+            tuple(thread.name for thread in self._queue))
+        return self._queue.pop(index)
+
+    def remove(self, thread: SimThread) -> bool:
+        try:
+            self._queue.remove(thread)
+            return True
+        except ValueError:
+            return False
+
+    def thread_names(self) -> List[str]:
+        """Names of the queued threads, in arrival order (exposed so the
+        kernel's preemption choice points can record who was runnable)."""
+        return [thread.name for thread in self._queue]
+
+    def drain(self) -> List[SimThread]:
+        """Replacement drain is bookkeeping, not a scheduling decision —
+        hand the threads over in arrival order without consulting the
+        chooser."""
+        threads, self._queue = self._queue, []
+        return threads
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
 class PriorityScheduler(Scheduler):
     """Highest ``thread.priority`` first; FIFO among equals.
 

@@ -41,6 +41,24 @@ SYNC_OP_US = 5.0
 SPIN_STEP_US = 2.0
 
 
+def _pick_waiter(waiters: "Deque[SimThread]", kind: str,
+                 vaddr: int) -> SimThread:
+    """Pick which waiter is handed the lock (or condvar signal) next.
+
+    FIFO (``popleft``) by default; with an AmberCheck controller
+    installed the hand-off order becomes a recorded, replayable choice
+    point."""
+    controller = _analysis.CONTROLLER
+    if controller is None:
+        return waiters.popleft()
+    index = controller.choose(
+        "handoff", f"{kind}:{vaddr:#x}",
+        tuple(thread.name for thread in waiters))
+    chosen = waiters[index]
+    del waiters[index]
+    return chosen
+
+
 class Lock(SimObject):
     """A relinquishing (blocking) mutual-exclusion lock."""
 
@@ -88,7 +106,7 @@ class Lock(SimObject):
         self._held = False
         self._owner = None
         if self._waiters:
-            yield Wakeup(self._waiters.popleft())
+            yield Wakeup(_pick_waiter(self._waiters, "lock", self.vaddr))
 
     def try_acquire(self, ctx):
         """Non-blocking attempt; returns True on success.  Atomic."""
@@ -251,7 +269,8 @@ class Monitor(SimObject):
         self._held = False
         self._owner = None
         if self._waiters:
-            yield Wakeup(self._waiters.popleft())
+            yield Wakeup(_pick_waiter(self._waiters, "monitor",
+                                      self.vaddr))
 
     def holds(self, thread: SimThread) -> bool:
         return self._held and self._owner is thread
@@ -283,7 +302,8 @@ class CondVar(SimObject):
     def signal(self, ctx):
         yield Charge(SYNC_OP_US)
         if self._waiting:
-            yield Wakeup(self._waiting.popleft())
+            yield Wakeup(_pick_waiter(self._waiting, "condvar",
+                                      self.vaddr))
 
     def broadcast(self, ctx):
         yield Charge(SYNC_OP_US)

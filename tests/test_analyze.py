@@ -9,7 +9,9 @@ from repro.analyze.fixtures import (
     run_lock_deadlock,
     run_lock_inversion,
     run_nonresident_touch,
+    run_opaque_state,
     run_racy_counter,
+    run_rw_inversion,
     run_sync_zoo,
 )
 from repro.analyze.runtime import sanitize_runs
@@ -87,6 +89,38 @@ class TestImmutableAndResidency:
         assert "node 1" in finding.render()
 
 
+class TestOpaqueState:
+    def test_slotted_and_property_classes_are_flagged(self):
+        # Regression: slotted reads bypass the __dict__-membership
+        # check in the field hook, so this race used to be silently
+        # *missed* — now the classes themselves are reported.
+        report = report_of(run_opaque_state(seed=0))
+        opaque = [f for f in report.findings
+                  if f.rule == "AMBSAN-OPAQUE"]
+        flagged = {(f.obj_cls, f.field) for f in opaque}
+        assert ("SlottedTally", "count") in flagged
+        assert ("DerivedTally", "count") in flagged
+        text = opaque[0].render()
+        assert "NOT race-checked" in text
+
+    def test_each_class_flagged_once(self):
+        report = report_of(run_opaque_state(seed=0))
+        signatures = [f.signature() for f in report.findings
+                      if f.rule == "AMBSAN-OPAQUE"]
+        assert len(signatures) == len(set(signatures)) == 2
+
+    def test_plain_classes_not_flagged(self):
+        report = report_of(run_racy_counter(seed=0, locked=True))
+        assert not [f for f in report.findings
+                    if f.rule == "AMBSAN-OPAQUE"]
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_opaque_signatures_deterministic(self, seed):
+        first = report_of(run_opaque_state(seed=seed)).signatures()
+        second = report_of(run_opaque_state(seed=seed)).signatures()
+        assert first == second
+
+
 class TestLockOrder:
     def test_inversion_reports_cycle_without_deadlock(self):
         result = run_lock_inversion(seed=0)
@@ -97,6 +131,35 @@ class TestLockOrder:
         assert "lock-order cycle" in text
         assert "order-ab" in text and "order-ba" in text
         assert "fixtures.py" in text     # acquisition sites named
+
+    def test_reader_inversion_records_no_order_edges(self):
+        # Read-side acquisitions don't exclude other readers, so an
+        # inverted read/read pattern is not a deadlock hazard: no
+        # AMBSAN-ORDER edge (and hence no cycle) may be recorded.
+        result = run_rw_inversion(seed=0, mode="read")
+        assert result.value is True
+        report = report_of(result)
+        assert report.ok, report.render()
+        assert report.order_cycles == 0
+        graph = result.cluster.sanitizer.lock_order
+        assert graph.edges == []
+
+    def test_writer_inversion_reports_cycle(self):
+        # Control: the same program write-side is the classic
+        # inversion and must light up exactly like mutexes do.
+        result = run_rw_inversion(seed=0, mode="write")
+        report = report_of(result)
+        assert report.order_cycles == 1
+        text = report.render()
+        assert "ReaderWriterLock" in text
+        assert "rw-ab" in text and "rw-ba" in text
+
+    def test_read_side_holds_nothing_for_wait_reports(self):
+        # order=False must also keep read acquisitions out of the
+        # held-lock table used by wait-for reporting.
+        result = run_rw_inversion(seed=0, mode="read")
+        sanitizer = result.cluster.sanitizer
+        assert all(not held for held in sanitizer._held.values())
 
     def test_true_deadlock_names_waiters_and_holders(self):
         with pytest.raises(DeadlockError) as excinfo:

@@ -158,6 +158,159 @@ def op(self, ctx, lock, t):
 """) == []
 
 
+class TestAMB106:
+    def test_barrier_count_mismatch(self):
+        assert rules_of("""
+def main(ctx):
+    barrier = yield New(Barrier, 4)
+    threads = []
+    for i in range(2):
+        worker = yield New(Worker)
+        threads.append((yield Fork(worker, "run", barrier)))
+    for t in threads:
+        yield Join(t)
+""") == [("AMB106", 3)]
+
+    def test_matching_count_is_clean(self):
+        for parties in (2, 3):    # workers alone, or workers + forker
+            assert rules_of(f"""
+def main(ctx):
+    barrier = yield New(Barrier, {parties})
+    threads = []
+    for i in range(2):
+        worker = yield New(Worker)
+        threads.append((yield Fork(worker, "run", barrier)))
+    for t in threads:
+        yield Join(t)
+""") == []
+
+    def test_direct_constructor_and_range_bounds(self):
+        assert rules_of("""
+def main(rt):
+    barrier = Barrier(9)
+    handles = []
+    for i in range(1, 4):
+        handles.append(rt.fork(work, barrier))
+    for h in handles:
+        h.join()
+""") == [("AMB106", 3)]
+
+    def test_variable_parties_is_skipped(self):
+        assert rules_of("""
+def main(ctx, n):
+    barrier = yield New(Barrier, n)
+    for i in range(2):
+        t = yield Fork(worker, "run", barrier)
+        yield Join(t)
+""") == []
+
+    def test_uncountable_forks_are_skipped(self):
+        assert rules_of("""
+def main(ctx, extra, n):
+    barrier = yield New(Barrier, 9)
+    t = yield Fork(worker, "run")
+    if extra:
+        t2 = yield Fork(worker, "run")
+        yield Join(t2)
+    for i in range(n):
+        t3 = yield Fork(worker, "run")
+        yield Join(t3)
+    yield Join(t)
+""") == []
+
+    def test_no_forks_is_skipped(self):
+        assert rules_of("""
+def main(ctx):
+    barrier = yield New(Barrier, 3)
+    yield Invoke(barrier, "wait")
+""") == []
+
+    def test_noqa(self):
+        assert rules_of("""
+def main(ctx):
+    barrier = yield New(Barrier, 4)  # repro: noqa[AMB106]
+    t = yield Fork(worker, "run", barrier)
+    yield Join(t)
+""") == []
+
+
+class TestAMB107:
+    def test_double_join_flagged(self):
+        assert rules_of("""
+def main(ctx):
+    t = yield Fork(worker, "run")
+    yield Join(t)
+    yield Join(t)
+""") == [("AMB107", 5)]
+
+    def test_join_in_loop_flagged(self):
+        assert rules_of("""
+def main(ctx):
+    t = yield Fork(worker, "run")
+    for i in range(3):
+        yield Join(t)
+""") == [("AMB107", 5)]
+
+    def test_live_runtime_idiom(self):
+        assert rules_of("""
+def main(rt):
+    t = rt.fork(work)
+    t.join()
+    t.join()
+""") == [("AMB107", 5)]
+
+    def test_invoke_join_form(self):
+        assert rules_of("""
+def main(ctx):
+    t = yield Fork(worker, "run")
+    yield Invoke(t, "join")
+    yield Invoke(t, "join")
+""") == [("AMB107", 5)]
+
+    def test_reassigned_handle_is_clean(self):
+        assert rules_of("""
+def main(ctx):
+    t = yield Fork(worker, "run")
+    yield Join(t)
+    t = yield Fork(worker, "run")
+    yield Join(t)
+""") == []
+
+    def test_exclusive_branches_are_clean(self):
+        assert rules_of("""
+def main(ctx, flag):
+    t = yield Fork(worker, "run")
+    if flag:
+        yield Join(t)
+    else:
+        yield Join(t)
+""") == []
+
+    def test_join_per_iteration_handle_is_clean(self):
+        assert rules_of("""
+def main(ctx):
+    for i in range(3):
+        t = yield Fork(worker, "run")
+        yield Join(t)
+""") == []
+
+    def test_str_join_is_not_a_thread_join(self):
+        assert rules_of("""
+def fmt(parts):
+    a = ", ".join(parts)
+    b = ", ".join(parts)
+    return a + b
+""") == []
+
+    def test_noqa(self):
+        assert rules_of("""
+def main(ctx):
+    t = yield Fork(worker, "run")
+    yield Join(t)
+    yield Join(t)  # repro: noqa[AMB107]
+""") == []
+
+
 class TestSuppression:
     def test_bare_noqa_suppresses_all(self):
         assert rules_of("""
@@ -181,7 +334,7 @@ def op(self, ctx, anchor):
 class TestHarness:
     def test_rule_catalogue_is_complete(self):
         assert set(RULES) == {"AMB101", "AMB102", "AMB103",
-                              "AMB104", "AMB105"}
+                              "AMB104", "AMB105", "AMB106", "AMB107"}
 
     def test_syntax_error_is_reported_not_raised(self):
         findings = lint_source("def broken(:\n", "bad.py")
