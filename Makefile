@@ -1,7 +1,7 @@
 # Convenience targets for the Amber reproduction.
 
-.PHONY: install test bench artifacts examples lint analyze amber-check \
-	check clean
+.PHONY: install test bench perf artifacts examples lint analyze \
+	amber-check check clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,8 +21,18 @@ amber-check:
 # The full static + dynamic + model-checking gauntlet.
 check: lint analyze amber-check
 
+# The paper-figure benchmark suite (simulated results asserted against
+# the paper's shape; pytest-benchmark records regeneration cost).
 bench:
-	python -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ -q
+
+# AmberPerf: wall-clock benchmark suite + hot-loop self-profile
+# (see docs/PERF.md).  Compare against the committed baseline with
+#   PYTHONPATH=src python -m repro perf --fast \
+#     --baseline benchmarks/baseline/BENCH_baseline.json
+perf:
+	PYTHONPATH=src python -m repro perf --fast
+	PYTHONPATH=src python -m repro perf --profile sor --fast
 
 artifacts:
 	python -m repro all

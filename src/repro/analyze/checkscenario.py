@@ -17,7 +17,7 @@ verdict the fixture was built to produce:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.analyze.check import (
     DEFAULT_MAX_SCHEDULES,
@@ -32,6 +32,7 @@ from repro.analyze.fixtures import (
     run_racy_counter,
     run_sync_zoo,
 )
+from repro.obs.metrics import MetricsRegistry
 
 #: Fixtures ``repro check`` can explore by name (CLI ``--fixture``).
 CHECK_FIXTURES: Dict[str, Callable[[int], Any]] = {
@@ -120,9 +121,16 @@ class CheckScenarioReport:
 
 
 def run_check_scenarios(seed: int = 0, fast: bool = False,
-                        budget: int = DEFAULT_MAX_SCHEDULES
+                        budget: int = DEFAULT_MAX_SCHEDULES,
+                        metrics: Optional[MetricsRegistry] = None
                         ) -> CheckScenarioReport:
-    """Run every scenario and collect the verdicts."""
+    """Run every scenario and collect the verdicts.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`)
+    accumulates the explorer's ``check_*`` counters — schedules,
+    prunes, backtracks, choice-point depths — across every scenario,
+    for the CLI's ``--metrics-json`` artifact.
+    """
     scenarios = [
         _finds_hidden_bug(
             "hidden-race",
@@ -130,29 +138,29 @@ def run_check_scenarios(seed: int = 0, fast: bool = False,
             "default schedule",
             lambda: run_hidden_race(seed),
             finding_kind="sanitizer", rule="AMBSAN-RACE",
-            seed=seed, budget=budget, fast=fast),
+            seed=seed, budget=budget, fast=fast, metrics=metrics),
         _finds_hidden_bug(
             "hidden-deadlock",
             "lock order inverted only when a transient mode flag is "
             "observed",
             lambda: run_hidden_deadlock(seed),
             finding_kind="deadlock", rule="DEADLOCK",
-            seed=seed, budget=budget, fast=fast),
+            seed=seed, budget=budget, fast=fast, metrics=metrics),
         _explores_clean(
             "locked-counter-exhausts",
             "lock-protected counter explores clean to exhaustion",
             lambda: run_racy_counter(seed, locked=True, rounds=2),
-            budget=budget),
+            budget=budget, metrics=metrics),
         _explores_clean(
             "sync-zoo-exhausts",
             "uniprocessor synchronization zoo explores clean to "
             "exhaustion",
             lambda: run_sync_zoo(seed, rounds=1, cpus_per_node=1),
-            budget=budget),
-        _dpor_not_worse(seed, budget),
+            budget=budget, metrics=metrics),
+        _dpor_not_worse(seed, budget, metrics=metrics),
     ]
     if not fast:
-        scenarios.append(_apps_clean_sweep(budget))
+        scenarios.append(_apps_clean_sweep(budget, metrics=metrics))
     return CheckScenarioReport(seed=seed, fast=fast, budget=budget,
                                scenarios=scenarios)
 
@@ -165,7 +173,9 @@ def run_check_scenarios(seed: int = 0, fast: bool = False,
 def _finds_hidden_bug(name: str, description: str,
                       program_fn: Callable[[], Any], finding_kind: str,
                       rule: str, seed: int, budget: int,
-                      fast: bool) -> CheckOutcome:
+                      fast: bool,
+                      metrics: Optional[MetricsRegistry] = None
+                      ) -> CheckOutcome:
     """The default schedule must be clean, exploration must surface a
     ``finding_kind`` finding whose trace replays bit-identically, a
     repeat exploration must agree, and the bug must be rare under
@@ -178,7 +188,8 @@ def _finds_hidden_bug(name: str, description: str,
             f"default schedule not clean: {baseline.status} "
             f"{baseline.signatures()}")
 
-    report = check_program(program_fn, name=name, budget=budget)
+    report = check_program(program_fn, name=name, budget=budget,
+                           metrics=metrics)
     hits = [f for f in report.findings
             if f.kind == finding_kind and rule in f.signature]
     if not hits:
@@ -203,7 +214,8 @@ def _finds_hidden_bug(name: str, description: str,
                 or replay.signatures() != again.signatures()):
             deterministic = False
             problems.append("replay is not bit-identical across runs")
-        repeat = check_program(program_fn, name=name, budget=budget)
+        repeat = check_program(program_fn, name=name, budget=budget,
+                               metrics=metrics)
         if (repeat.signatures() != report.signatures()
                 or [f.trace for f in repeat.findings]
                 != [f.trace for f in report.findings]):
@@ -237,8 +249,11 @@ def _finds_hidden_bug(name: str, description: str,
 
 def _explores_clean(name: str, description: str,
                     program_fn: Callable[[], Any],
-                    budget: int) -> CheckOutcome:
-    report = check_program(program_fn, name=name, budget=budget)
+                    budget: int,
+                    metrics: Optional[MetricsRegistry] = None
+                    ) -> CheckOutcome:
+    report = check_program(program_fn, name=name, budget=budget,
+                           metrics=metrics)
     problems: List[str] = []
     if not report.ok:
         problems.append(f"findings: {report.signatures()}")
@@ -254,14 +269,17 @@ def _explores_clean(name: str, description: str,
         detail="; ".join(problems))
 
 
-def _dpor_not_worse(seed: int, budget: int) -> CheckOutcome:
+def _dpor_not_worse(seed: int, budget: int,
+                    metrics: Optional[MetricsRegistry] = None
+                    ) -> CheckOutcome:
     """On a small instance both modes must exhaust with identical
     finding signatures, and DPOR must visit no more schedules."""
     program_fn = lambda: run_hidden_race(seed, decoys=2)  # noqa: E731
     exhaustive = check_program(program_fn, name="exhaustive",
-                               budget=budget, dpor=False, prune=False)
+                               budget=budget, dpor=False, prune=False,
+                               metrics=metrics)
     reduced = check_program(program_fn, name="dpor", budget=budget,
-                            dpor=True, prune=True)
+                            dpor=True, prune=True, metrics=metrics)
     problems: List[str] = []
     if not (exhaustive.exhausted and reduced.exhausted):
         problems.append("a mode failed to exhaust")
@@ -287,7 +305,9 @@ def _dpor_not_worse(seed: int, budget: int) -> CheckOutcome:
             f"{reduced.schedules} schedules]" if not problems else ""))
 
 
-def _apps_clean_sweep(budget: int) -> CheckOutcome:
+def _apps_clean_sweep(budget: int,
+                      metrics: Optional[MetricsRegistry] = None
+                      ) -> CheckOutcome:
     """Small configurations of the bundled applications must explore
     clean to exhaustion or the sweep budget."""
     from repro.apps.matmul import run_matmul
@@ -309,7 +329,8 @@ def _apps_clean_sweep(budget: int) -> CheckOutcome:
     schedules = 0
     reports: List[CheckReport] = []
     for name, job in jobs:
-        report = check_program(job, name=name, budget=sweep_budget)
+        report = check_program(job, name=name, budget=sweep_budget,
+                               metrics=metrics)
         reports.append(report)
         schedules += report.schedules
         if not report.ok:

@@ -30,6 +30,12 @@
     python -m repro check --fixture hidden-race --replay 0,0,0,1
                                               # replay a choice trace
     python -m repro lint [paths...]           # concurrency AST lint
+    python -m repro perf [--fast] [--json PATH]
+                                              # AmberPerf benchmark suite
+                                              # (see docs/PERF.md)
+    python -m repro perf --profile sor --fast # hot-loop self-profile
+    python -m repro perf --compare OLD NEW    # flag regressions between
+                                              # two BENCH_*.json files
 
 ``trace`` and ``profile`` also accept ``--sanitize`` to run the
 workload under AmberSan and print its findings.
@@ -263,14 +269,81 @@ def _cmd_check(args) -> int:
             print(f"\nreport written to {args.json}")
         return 0 if report.ok else 1
 
+    metrics = None
+    if args.metrics_json:
+        from repro.obs.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
     report = run_check_scenarios(seed=args.seed, fast=args.fast,
-                                 budget=args.budget)
+                                 budget=args.budget, metrics=metrics)
     print(report.render())
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"\nreport written to {args.json}")
+    if metrics is not None:
+        write_metrics_json(args.metrics_json,
+                           {"check": metrics.as_dict()})
+        print(f"exploration metrics written to {args.metrics_json}")
     return 0 if report.ok else 1
+
+
+def _cmd_perf(args) -> int:
+    import json
+
+    from repro.perf import benchfile, harness
+
+    if args.compare:
+        old = benchfile.load_bench(args.compare[0])
+        new = benchfile.load_bench(args.compare[1])
+        result = benchfile.compare_benches(old, new,
+                                           threshold=args.threshold)
+        print(benchfile.render_compare(result))
+        return 0 if result.ok else 1
+
+    if args.profile:
+        from repro.perf.hotprof import profile_runs, render_hotloop
+        with profile_runs() as profiler:
+            result = WORKLOADS[args.profile](args.fast, None)
+        print(render_hotloop(
+            profiler,
+            title=(f"Hot-loop self-profile: {args.profile} "
+                   f"({result.cluster.config.label()}), host time")))
+        if args.trace_out:
+            from repro.obs.perfetto import (
+                export_chrome_trace,
+                profiler_track_events,
+            )
+            count = export_chrome_trace(
+                [], args.trace_out,
+                extra=profiler_track_events(profiler))
+            print(f"\nwrote {count} self-profiler trace events to "
+                  f"{args.trace_out}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(profiler.as_dict(), handle, indent=2)
+            print(f"profile written to {args.json}")
+        return 0
+
+    only = args.bench or None
+    suite = harness.run_suite(fast=args.fast, reps=args.reps,
+                              warmup=args.warmup, only=only,
+                              progress=print)
+    print()
+    print(suite.render())
+    if args.json:
+        doc = benchfile.write_bench_json(suite, args.json)
+        print(f"\nbench file written to {args.json} "
+              f"(rev {doc['git_rev']}, machine "
+              f"{doc['machine']['fingerprint']})")
+    if args.baseline:
+        old = benchfile.load_bench(args.baseline)
+        result = benchfile.compare_benches(
+            old, benchfile.bench_dict(suite),
+            threshold=args.threshold)
+        print()
+        print(benchfile.render_compare(result))
+        return 0 if suite.ok and result.ok else 1
+    return 0 if suite.ok else 1
 
 
 def _cmd_lint(args) -> int:
@@ -400,6 +473,47 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "'0,0,1') instead of exploring")
     cp.add_argument("--json", metavar="PATH", default=None,
                     help="dump the report as JSON")
+    cp.add_argument("--metrics-json", metavar="PATH", default=None,
+                    help="dump the explorer's check_* counters "
+                         "(schedules, prunes, backtracks, choice-point "
+                         "depths) as JSON; scenario mode only")
+
+    qp = sub.add_parser("perf",
+                        help="AmberPerf: run the benchmark suite, "
+                             "self-profile the simulator's hot loop, or "
+                             "compare two BENCH_*.json files")
+    qp.add_argument("--fast", action="store_true",
+                    help="smaller problems, skip the live-socket "
+                         "benchmark (CI suite)")
+    qp.add_argument("--reps", type=int, default=3,
+                    help="measured repetitions per benchmark "
+                         "(default: 3)")
+    qp.add_argument("--warmup", type=int, default=1,
+                    help="unmeasured warmup runs per benchmark "
+                         "(default: 1)")
+    qp.add_argument("--bench", action="append", metavar="NAME",
+                    help="run only the named benchmark (repeatable)")
+    qp.add_argument("--json", metavar="PATH", default=None,
+                    help="write the run as a BENCH_*.json file "
+                         "(suite mode) or the profile dict "
+                         "(--profile mode)")
+    qp.add_argument("--baseline", metavar="PATH", default=None,
+                    help="after the suite, compare against this bench "
+                         "file and fail on regressions")
+    qp.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                    default=None,
+                    help="compare two bench files instead of running "
+                         "(exit 1 on regressions beyond threshold)")
+    qp.add_argument("--threshold", type=float, default=0.25,
+                    help="regression threshold as a rate fraction "
+                         "(default: 0.25)")
+    qp.add_argument("--profile", choices=sorted(WORKLOADS),
+                    default=None, metavar="WORKLOAD",
+                    help="instead of the suite, self-profile the hot "
+                         "loop under one workload (sor/queens/matmul)")
+    qp.add_argument("--trace-out", metavar="PATH", default=None,
+                    help="with --profile: also export the phase "
+                         "timeline as a Perfetto trace")
 
     lp = sub.add_parser("lint",
                         help="static concurrency lint (AMB101-AMB105) "
@@ -424,6 +538,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
 
     names = sorted(_ARTIFACTS) if args.command == "all" \
         else [args.command]

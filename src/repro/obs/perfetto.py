@@ -124,15 +124,76 @@ def chrome_trace_events(events, nodes: Optional[int] = None
     return meta + out
 
 
+#: Process id of the self-profiler track — far above any node id, so
+#: the host-time track sorts after the simulated-node tracks.
+PROFILER_PID = 9999
+
+
+def profiler_track_events(profiler) -> List[Dict[str, object]]:
+    """Trace events for a hot-loop self-profiler track.
+
+    ``profiler`` is a :class:`repro.perf.hotprof.HotLoopProfiler` whose
+    cumulative snapshots become per-window complete slices: one thread
+    track per phase, each window's slice duration being that phase's
+    host time spent *within* the window.  An extra counter track plots
+    events/sec per window.  The track's timebase is **host** time since
+    attach (microseconds), not simulated time — it answers "where did
+    the wall clock go", alongside the simulated timeline.
+    """
+    samples = getattr(profiler, "samples", None)
+    if not samples:
+        return []
+    phases = list(samples[-1][2])
+    out: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": PROFILER_PID,
+         "args": {"name": "self-profiler (host time)"}},
+    ]
+    for tid, phase in enumerate(phases, start=1):
+        out.append({"name": "thread_name", "ph": "M",
+                    "pid": PROFILER_PID, "tid": tid,
+                    "args": {"name": phase}})
+    prev_us, prev_events = 0.0, 0
+    prev_phases: Dict[str, float] = {phase: 0.0 for phase in phases}
+    for rel_us, events, cum in samples:
+        window_us = rel_us - prev_us
+        if window_us <= 0:
+            continue
+        for tid, phase in enumerate(phases, start=1):
+            spent_us = (cum.get(phase, 0.0)
+                        - prev_phases.get(phase, 0.0)) * 1e6
+            if spent_us <= 0:
+                continue
+            out.append({
+                "name": phase, "cat": "hotloop", "ph": "X",
+                "ts": round(prev_us, 3),
+                "dur": round(min(spent_us, window_us), 3),
+                "pid": PROFILER_PID, "tid": tid,
+                "args": {"cumulative_ms": round(
+                    cum.get(phase, 0.0) * 1e3, 3)},
+            })
+        rate = (events - prev_events) / (window_us / 1e6)
+        out.append({
+            "name": "events/sec", "ph": "C", "pid": PROFILER_PID,
+            "ts": round(rel_us, 3), "args": {"rate": round(rate, 1)},
+        })
+        prev_us, prev_events, prev_phases = rel_us, events, cum
+    return out
+
+
 def export_chrome_trace(events, path_or_file: Union[str, IO[str]],
-                        nodes: Optional[int] = None) -> int:
+                        nodes: Optional[int] = None,
+                        extra: Optional[List[Dict[str, object]]] = None
+                        ) -> int:
     """Write a Chrome trace-event JSON file; returns the event count.
 
+    ``extra`` appends pre-built trace events (e.g. a
+    :func:`profiler_track_events` track) after the simulated tracks.
     The file loads directly in https://ui.perfetto.dev or
     ``chrome://tracing``.
     """
     trace = {
-        "traceEvents": chrome_trace_events(events, nodes=nodes),
+        "traceEvents": (chrome_trace_events(events, nodes=nodes)
+                        + list(extra or [])),
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.sim (Amber reproduction)"},
     }

@@ -1,0 +1,288 @@
+"""``BENCH_<rev>.json``: the repo's tracked performance trajectory.
+
+A bench file is one harness invocation frozen to disk: schema version,
+machine fingerprint, git revision, and per-benchmark statistics.  CI
+writes one per run, uploads it as an artifact, and compares it against
+the committed baseline in ``benchmarks/baseline/``; regressions beyond
+a noise threshold fail the build.
+
+Comparing across machines is meaningless on raw wall times, so every
+suite carries a ``calibration`` benchmark — a fixed pure-Python loop
+whose rate measures the host itself.  When two files' machine
+fingerprints differ, :func:`compare_benches` normalizes each rate by
+its own file's calibration rate before computing ratios.  Same-machine
+comparisons use raw rates (tighter noise).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.perf.harness import SuiteResult
+
+#: Versioned schema tag.  Bump the suffix on breaking layout changes;
+#: readers reject tags they do not understand.
+SCHEMA = "amberperf-bench/1"
+
+#: Default regression threshold: fail when a benchmark's (normalized)
+#: rate drops below (1 - threshold) x old, beyond the noise floor.
+DEFAULT_THRESHOLD = 0.25
+
+_REQUIRED_TOP = ("schema", "machine", "git_rev", "fast", "reps",
+                 "warmup", "benchmarks")
+_REQUIRED_BENCH = ("kind", "unit", "reps", "work", "rate", "wall_s",
+                   "fingerprint", "deterministic")
+
+
+def machine_info() -> Dict[str, Any]:
+    """Host identity: enough to tell whether two bench files are
+    comparable on raw wall times, hashed into a short fingerprint."""
+    info: Dict[str, Any] = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode()).hexdigest()[:16]
+    info["fingerprint"] = digest
+    return info
+
+
+def git_rev(repo_dir: Optional[str] = None) -> str:
+    """Short git revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def bench_dict(suite: SuiteResult,
+               rev: Optional[str] = None) -> Dict[str, Any]:
+    """The schema-shaped document for one suite run."""
+    return {
+        "schema": SCHEMA,
+        "machine": machine_info(),
+        "git_rev": rev if rev is not None else git_rev(),
+        "fast": suite.fast,
+        "reps": suite.reps,
+        "warmup": suite.warmup,
+        "benchmarks": suite.as_dict(),
+    }
+
+
+def write_bench_json(suite: SuiteResult, path: str,
+                     rev: Optional[str] = None) -> Dict[str, Any]:
+    """Write ``suite`` to ``path`` as a schema-valid bench file."""
+    doc = bench_dict(suite, rev=rev)
+    validate_bench(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Load and validate a bench file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_bench(doc)
+    return doc
+
+
+def validate_bench(doc: Any) -> None:
+    """Raise :class:`ValueError` unless ``doc`` is a valid bench
+    document under :data:`SCHEMA`."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {schema!r} (expected {SCHEMA!r})")
+    missing = [key for key in _REQUIRED_TOP if key not in doc]
+    if missing:
+        raise ValueError(f"bench document missing keys: {missing}")
+    machine = doc["machine"]
+    if not isinstance(machine, dict) or "fingerprint" not in machine:
+        raise ValueError("bench machine info missing 'fingerprint'")
+    benchmarks = doc["benchmarks"]
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise ValueError("bench document has no benchmarks")
+    for name, bench in benchmarks.items():
+        if not isinstance(bench, dict):
+            raise ValueError(f"benchmark {name!r} is not an object")
+        gone = [key for key in _REQUIRED_BENCH if key not in bench]
+        if gone:
+            raise ValueError(
+                f"benchmark {name!r} missing keys: {gone}")
+        wall = bench["wall_s"]
+        if not isinstance(wall, dict) or "median" not in wall:
+            raise ValueError(
+                f"benchmark {name!r} wall_s missing 'median'")
+        if bench.get("error"):
+            continue
+        if not bench["deterministic"]:
+            raise ValueError(
+                f"benchmark {name!r} was non-deterministic: "
+                "fingerprints differed across repetitions")
+
+
+# ---------------------------------------------------------------------------
+# Compare
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark's old-vs-new comparison."""
+
+    name: str
+    old_rate: float
+    new_rate: float
+    #: new/old after calibration normalization (if applied); > 1 is
+    #: faster, < 1 is slower.
+    ratio: float
+    #: Relative IQR noise floor combined from both files.
+    noise: float
+    regression: bool
+    improvement: bool
+    note: str = ""
+
+
+@dataclass
+class CompareResult:
+    """Full old-vs-new comparison of two bench documents."""
+
+    deltas: List[BenchDelta]
+    normalized: bool
+    threshold: float
+    #: Benchmarks present in only one file.
+    only_old: List[str] = field(default_factory=list)
+    only_new: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _relative_iqr(bench: Dict[str, Any]) -> float:
+    wall = bench.get("wall_s", {})
+    median = wall.get("median", 0.0)
+    iqr = wall.get("iqr", 0.0)
+    return iqr / median if median > 0 else 0.0
+
+
+def compare_benches(old: Dict[str, Any], new: Dict[str, Any],
+                    threshold: float = DEFAULT_THRESHOLD
+                    ) -> CompareResult:
+    """Compare two bench documents; flag regressions beyond noise.
+
+    A benchmark regresses when its (possibly calibration-normalized)
+    rate ratio new/old drops below ``1 - max(threshold, noise)``, where
+    ``noise`` combines both runs' relative IQRs — a wide-variance
+    benchmark must fall further before it is flagged.  The calibration
+    benchmark itself is reported but never flagged (it measures the
+    host, not the repo).
+    """
+    validate_bench(old)
+    validate_bench(new)
+    old_b = old["benchmarks"]
+    new_b = new["benchmarks"]
+    same_machine = (old["machine"]["fingerprint"]
+                    == new["machine"]["fingerprint"])
+    normalized = not same_machine
+
+    def _cal_rate(doc: Dict[str, Any]) -> float:
+        cal = doc["benchmarks"].get("calibration")
+        return cal["rate"] if cal and cal.get("rate") else 1.0
+
+    old_cal, new_cal = _cal_rate(old), _cal_rate(new)
+    if normalized and (old_cal <= 0 or new_cal <= 0):
+        # No calibration to normalize by: fall back to raw rates but
+        # note it per-delta.
+        old_cal = new_cal = 1.0
+
+    deltas: List[BenchDelta] = []
+    for name in sorted(set(old_b) & set(new_b)):
+        ob, nb = old_b[name], new_b[name]
+        old_rate, new_rate = ob.get("rate", 0.0), nb.get("rate", 0.0)
+        note = ""
+        if ob.get("error") or nb.get("error"):
+            deltas.append(BenchDelta(
+                name, old_rate, new_rate, ratio=0.0, noise=0.0,
+                regression=bool(nb.get("error")), improvement=False,
+                note="errored"))
+            continue
+        if normalized:
+            eff_old = old_rate / old_cal
+            eff_new = new_rate / new_cal
+            note = "calibration-normalized"
+        else:
+            eff_old, eff_new = old_rate, new_rate
+        ratio = eff_new / eff_old if eff_old > 0 else 0.0
+        noise = _relative_iqr(ob) + _relative_iqr(nb)
+        bar = max(threshold, noise)
+        is_cal = name == "calibration"
+        regression = (not is_cal) and ratio < 1.0 - bar
+        improvement = (not is_cal) and ratio > 1.0 + bar
+        if is_cal:
+            note = "host reference (never gated)"
+        deltas.append(BenchDelta(name, old_rate, new_rate, ratio,
+                                 noise, regression, improvement, note))
+    return CompareResult(
+        deltas=deltas, normalized=normalized, threshold=threshold,
+        only_old=sorted(set(old_b) - set(new_b)),
+        only_new=sorted(set(new_b) - set(old_b)))
+
+
+def render_compare(result: CompareResult) -> str:
+    """Human-readable compare report."""
+    lines: List[str] = []
+    mode = ("cross-machine (calibration-normalized)"
+            if result.normalized else "same machine (raw rates)")
+    lines.append(f"AmberPerf compare — {mode}, "
+                 f"threshold {result.threshold:.0%}")
+    header = (f"{'benchmark':<16} {'old rate/s':>13} {'new rate/s':>13} "
+              f"{'ratio':>7} {'noise':>7}  verdict")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for d in result.deltas:
+        if d.note == "errored":
+            verdict = "ERROR"
+        elif d.regression:
+            verdict = "REGRESSION"
+        elif d.improvement:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        if d.note and d.note != "errored":
+            verdict += f" ({d.note})"
+        lines.append(
+            f"{d.name:<16} {d.old_rate:>13,.0f} {d.new_rate:>13,.0f} "
+            f"{d.ratio:>7.2f} {d.noise:>6.1%}  {verdict}")
+    for name in result.only_old:
+        lines.append(f"{name:<16} (removed — present only in OLD)")
+    for name in result.only_new:
+        lines.append(f"{name:<16} (new — present only in NEW)")
+    lines.append("-" * len(header))
+    if result.ok:
+        lines.append("no regressions beyond threshold")
+    else:
+        names = ", ".join(d.name for d in result.regressions)
+        lines.append(f"{len(result.regressions)} regression(s): {names}")
+    return "\n".join(lines)

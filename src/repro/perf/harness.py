@@ -1,0 +1,472 @@
+"""The AmberPerf benchmark harness (``repro perf``).
+
+Deterministic benchmarks over the machinery every other subsystem leans
+on, each reporting a throughput rate (events/sec, ops/sec,
+schedules/sec, or messages/sec) plus wall-time statistics over warmup +
+repetition (median and interquartile range — the robust pair, since
+wall-clock noise on shared machines is one-sided).
+
+Micro-benchmarks isolate one hot component:
+
+* ``event_heap`` — the engine's event-queue churn (push/pop/cancel).
+* ``scheduler_pick`` — ready-queue disciplines (FIFO and priority).
+* ``dispatch`` — the generator-trampoline invocation path in
+  ``sim/kernel.py`` on a single node.
+* ``vector_clock`` — tick/join/covers in ``analyze/hb.py``.
+* ``mesh_roundtrip`` — live ``Mesh`` TCP round-trips (full suite only;
+  the fast/CI suite stays socket-free).
+
+Macro-benchmarks run whole subsystem workloads:
+
+* ``sor_sim`` / ``queens_sim`` / ``matmul_sim`` — the bundled apps.
+* ``analyze_sor`` — a sanitized run (AmberSan interposition cost).
+* ``check_explore`` — a bounded AmberCheck exploration.
+
+``calibration`` is a fixed pure-Python loop whose rate measures the host
+itself; the compare in :mod:`repro.perf.benchfile` divides by it when
+two ``BENCH_*.json`` files come from different machines.
+
+Every benchmark returns a *fingerprint* — a digest of its deterministic
+outputs (event counts, simulated elapsed time, results).  Fingerprints
+must be identical across repetitions; only wall-clock may vary.  The
+harness records a per-benchmark ``deterministic`` verdict.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+# ---------------------------------------------------------------------------
+# Result containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchRun:
+    """One repetition's deterministic outputs (wall time is measured by
+    the harness, around the benchmark body)."""
+
+    #: Units of work done (events, ops, schedules, messages).
+    work: int
+    #: Digest of the run's deterministic outputs.
+    fingerprint: str = ""
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """A registered benchmark."""
+
+    name: str
+    kind: str                      # "micro" | "macro" | "calibration"
+    unit: str                      # what ``work`` counts
+    fn: Callable[[bool], BenchRun]
+    #: Included in the fast (CI) suite?
+    fast_ok: bool = True
+    description: str = ""
+
+
+@dataclass
+class BenchResult:
+    """Statistics for one benchmark across its repetitions."""
+
+    name: str
+    kind: str
+    unit: str
+    reps: int
+    warmup: int
+    work: int
+    fingerprint: str
+    deterministic: bool
+    wall_s: List[float] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.wall_s) if self.wall_s else 0.0
+
+    @property
+    def iqr_s(self) -> float:
+        if len(self.wall_s) < 2:
+            return 0.0
+        ordered = sorted(self.wall_s)
+        q1, q3 = (statistics.quantiles(ordered, n=4)[0],
+                  statistics.quantiles(ordered, n=4)[2])
+        return q3 - q1
+
+    @property
+    def rate(self) -> float:
+        """Units of work per second, at the median repetition."""
+        median = self.median_s
+        return self.work / median if median > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "reps": self.reps,
+            "warmup": self.warmup,
+            "work": self.work,
+            "fingerprint": self.fingerprint,
+            "deterministic": self.deterministic,
+            "rate": round(self.rate, 3),
+            "wall_s": {
+                "median": self.median_s,
+                "iqr": self.iqr_s,
+                "min": min(self.wall_s) if self.wall_s else 0.0,
+                "max": max(self.wall_s) if self.wall_s else 0.0,
+                "samples": [round(s, 6) for s in self.wall_s],
+            },
+            "error": self.error,
+        }
+
+
+@dataclass
+class SuiteResult:
+    """All benchmarks of one harness invocation."""
+
+    fast: bool
+    reps: int
+    warmup: int
+    results: List[BenchResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(not r.error and r.deterministic for r in self.results)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {result.name: result.as_dict()
+                for result in self.results}
+
+    def render(self) -> str:
+        header = (f"{'benchmark':<16} {'kind':<12} {'unit':<10} "
+                  f"{'work':>9} {'rate/s':>13} {'median ms':>10} "
+                  f"{'iqr ms':>8} {'det':>4}")
+        lines = [header, "-" * len(header)]
+        for r in self.results:
+            if r.error:
+                lines.append(f"{r.name:<16} {r.kind:<12} ERROR "
+                             f"{r.error}")
+                continue
+            lines.append(
+                f"{r.name:<16} {r.kind:<12} {r.unit:<10} "
+                f"{r.work:>9} {r.rate:>13,.0f} "
+                f"{1e3 * r.median_s:>10.2f} {1e3 * r.iqr_s:>8.2f} "
+                f"{'yes' if r.deterministic else 'NO':>4}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _bench_calibration(fast: bool) -> BenchRun:
+    """Fixed integer work: measures the host, not the repo."""
+    n = 200_000
+    acc = 0
+    for i in range(n):
+        acc += (i * 3) // 7
+    return BenchRun(work=n, fingerprint=str(acc))
+
+
+def _bench_event_heap(fast: bool) -> BenchRun:
+    """Event-queue churn: interleaved chains, each tick also pushing and
+    cancelling a decoy event (the lazy-deletion path)."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    budget = [30_000 if fast else 150_000]
+
+    def noop() -> None:
+        pass
+
+    def tick() -> None:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        decoy = sim.schedule_us(5.0, noop)
+        decoy.cancel()
+        sim.schedule_us(1.0, tick)
+
+    for lane in range(64):
+        sim.schedule_us(float(lane % 7), tick)
+    sim.run()
+    return BenchRun(work=sim.events_run,
+                    fingerprint=f"{sim.events_run}:{sim.now_ns}")
+
+
+def _bench_scheduler_pick(fast: bool) -> BenchRun:
+    """Ready-queue enqueue/dequeue rounds on both stock disciplines."""
+    from repro.sim.scheduler import FifoScheduler, PriorityScheduler
+    from repro.sim.thread import SimThread
+
+    threads = [SimThread(tid, f"t{tid}", priority=tid % 4)
+               for tid in range(32)]
+    rounds = 400 if fast else 2000
+    ops = 0
+    order_digest = 0
+    for scheduler in (FifoScheduler(), PriorityScheduler()):
+        for _ in range(rounds):
+            for thread in threads:
+                scheduler.enqueue(thread)
+            ops += len(threads)
+            while True:
+                picked = scheduler.dequeue()
+                if picked is None:
+                    break
+                ops += 1
+                order_digest = (order_digest * 31 + picked.tid) \
+                    % 1_000_000_007
+    return BenchRun(work=ops, fingerprint=f"{ops}:{order_digest}")
+
+
+class _PerfCell:
+    """Defined lazily below to avoid importing sim at module load."""
+
+
+def _bench_dispatch(fast: bool) -> BenchRun:
+    """The generator-trampoline invocation path: a single-node program
+    making many local invocations (entry charge, atomic body, return
+    charge) — the per-invocation kernel cost with no network in sight."""
+    from repro.sim import syscalls as sc
+    from repro.sim.objects import SimObject
+    from repro.sim.program import run_program
+
+    class Cell(SimObject):
+        SIZE_BYTES = 64
+        SANITIZE_FIELDS = False
+
+        def __init__(self) -> None:
+            self.value = 0
+
+        def add(self, ctx: Any, n: int) -> int:
+            self.value += n
+            return self.value
+
+    iters = 400 if fast else 2000
+
+    def main(ctx: Any):
+        cell = yield sc.New(Cell)
+        total = 0
+        for i in range(iters):
+            total = yield sc.Invoke(cell, "add", 1)
+        return total
+
+    result = run_program(main, nodes=1, cpus_per_node=1)
+    events = result.cluster.sim.events_run
+    return BenchRun(
+        work=events,
+        fingerprint=f"{events}:{result.elapsed_us}:{result.value}")
+
+
+def _bench_vector_clock(fast: bool) -> BenchRun:
+    """tick/join/covers churn across a small thread population — the
+    inner loop of AmberSan's happens-before analysis."""
+    from repro.analyze.hb import VectorClock
+
+    n = 20_000 if fast else 100_000
+    clocks = [VectorClock() for _ in range(8)]
+    ops = 0
+    covered = 0
+    for i in range(n):
+        a = clocks[i % 8]
+        b = clocks[(5 * i + 1) % 8]
+        a.tick(i % 8)
+        b.join(a)
+        if b.covers(a.epoch(i % 8)):
+            covered += 1
+        ops += 3
+    digest = sum(component for clock in clocks
+                 for _, component in clock.items())
+    return BenchRun(work=ops, fingerprint=f"{ops}:{covered}:{digest}")
+
+
+def _bench_mesh_roundtrip(fast: bool) -> BenchRun:
+    """Live transport: ping-pong over two loopback Mesh nodes.  Wall
+    time includes framing, pickling, TCP, and the reader threads — the
+    end-to-end cost of one control message on the live runtime."""
+    import queue
+
+    from repro.runtime.transport import Mesh
+
+    n = 300 if fast else 1500
+    inbox_a: "queue.Queue" = queue.Queue()
+    inbox_b: "queue.Queue" = queue.Queue()
+    mesh_a = Mesh(0, lambda peer, msg: inbox_a.put(msg))
+    mesh_b = Mesh(1, lambda peer, msg: inbox_b.put(msg))
+    try:
+        directory = {0: mesh_a.address, 1: mesh_b.address}
+        mesh_a.set_directory(directory)
+        mesh_b.set_directory(directory)
+        for i in range(n):
+            mesh_a.send(1, ("ping", i))
+            assert inbox_b.get(timeout=10.0) == ("ping", i)
+            mesh_b.send(0, ("pong", i))
+            assert inbox_a.get(timeout=10.0) == ("pong", i)
+    finally:
+        mesh_a.close()
+        mesh_b.close()
+    return BenchRun(work=2 * n, fingerprint=str(2 * n))
+
+
+# ---------------------------------------------------------------------------
+# Macro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _events_fingerprint(result: Any) -> BenchRun:
+    events = result.cluster.sim.events_run
+    return BenchRun(work=events,
+                    fingerprint=f"{events}:{result.elapsed_us}")
+
+
+def _bench_sor_sim(fast: bool) -> BenchRun:
+    from repro.apps.sor import SorProblem, run_amber_sor
+
+    problem = (SorProblem(rows=40, cols=280, iterations=3) if fast
+               else SorProblem(rows=80, cols=560, iterations=8))
+    result = run_amber_sor(problem, nodes=2, cpus_per_node=2)
+    return _events_fingerprint(result)
+
+
+def _bench_queens_sim(fast: bool) -> BenchRun:
+    from repro.apps.queens import run_amber_queens
+
+    result = run_amber_queens(n=6 if fast else 8, nodes=2,
+                              cpus_per_node=2)
+    return _events_fingerprint(result)
+
+
+def _bench_matmul_sim(fast: bool) -> BenchRun:
+    from repro.apps.matmul import run_matmul
+
+    size = 24 if fast else 48
+    result = run_matmul(m=size, k=size, n=size, nodes=2,
+                        cpus_per_node=2)
+    return _events_fingerprint(result)
+
+
+def _bench_analyze_sor(fast: bool) -> BenchRun:
+    """A sanitized run: the same SOR workload under AmberSan's field
+    interposition and vector-clock updates."""
+    from repro.analyze.runtime import sanitize_runs
+    from repro.apps.sor import SorProblem, run_amber_sor
+
+    problem = (SorProblem(rows=20, cols=140, iterations=2) if fast
+               else SorProblem(rows=40, cols=280, iterations=3))
+    with sanitize_runs() as sanitizers:
+        result = run_amber_sor(problem, nodes=2, cpus_per_node=2)
+    findings = sum(len(s.report().findings) for s in sanitizers)
+    events = result.cluster.sim.events_run
+    return BenchRun(
+        work=events,
+        fingerprint=f"{events}:{result.elapsed_us}:{findings}")
+
+
+def _bench_check_explore(fast: bool) -> BenchRun:
+    """A bounded AmberCheck exploration; work counts schedules."""
+    from repro.analyze.check import check_program
+    from repro.analyze.fixtures import run_hidden_race
+
+    budget = 30 if fast else 120
+    report = check_program(lambda: run_hidden_race(0),
+                           name="perf", budget=budget)
+    return BenchRun(
+        work=report.schedules,
+        fingerprint=(f"{report.schedules}:{report.exhausted}:"
+                     f"{sorted(report.signatures())}:"
+                     f"{len(report.fingerprints)}"))
+
+
+# ---------------------------------------------------------------------------
+# Registry and runner
+# ---------------------------------------------------------------------------
+
+SUITE: List[BenchSpec] = [
+    BenchSpec("calibration", "calibration", "ops", _bench_calibration,
+              description="fixed integer loop (host speed reference)"),
+    BenchSpec("event_heap", "micro", "events", _bench_event_heap,
+              description="engine event-queue churn"),
+    BenchSpec("scheduler_pick", "micro", "ops", _bench_scheduler_pick,
+              description="ready-queue enqueue/dequeue disciplines"),
+    BenchSpec("dispatch", "micro", "events", _bench_dispatch,
+              description="generator-trampoline local invocations"),
+    BenchSpec("vector_clock", "micro", "ops", _bench_vector_clock,
+              description="happens-before clock ops"),
+    BenchSpec("mesh_roundtrip", "micro", "messages",
+              _bench_mesh_roundtrip, fast_ok=False,
+              description="live Mesh TCP round-trips (loopback)"),
+    BenchSpec("sor_sim", "macro", "events", _bench_sor_sim,
+              description="SOR on the simulated cluster"),
+    BenchSpec("queens_sim", "macro", "events", _bench_queens_sim,
+              description="n-queens on the simulated cluster"),
+    BenchSpec("matmul_sim", "macro", "events", _bench_matmul_sim,
+              description="matmul on the simulated cluster"),
+    BenchSpec("analyze_sor", "macro", "events", _bench_analyze_sor,
+              description="sanitized SOR run (AmberSan attached)"),
+    BenchSpec("check_explore", "macro", "schedules",
+              _bench_check_explore,
+              description="bounded AmberCheck exploration"),
+]
+
+_BY_NAME: Dict[str, BenchSpec] = {spec.name: spec for spec in SUITE}
+
+
+def bench_names(fast: bool = False) -> List[str]:
+    return [spec.name for spec in SUITE if spec.fast_ok or not fast]
+
+
+def run_benchmark(spec: BenchSpec, fast: bool, reps: int,
+                  warmup: int) -> BenchResult:
+    """Warm up, then measure ``reps`` repetitions of one benchmark."""
+    walls: List[float] = []
+    runs: List[BenchRun] = []
+    try:
+        for _ in range(warmup):
+            spec.fn(fast)
+        for _ in range(max(1, reps)):
+            t0 = perf_counter()
+            run = spec.fn(fast)
+            walls.append(perf_counter() - t0)
+            runs.append(run)
+    except Exception as error:  # noqa: BLE001 - recorded, not fatal
+        return BenchResult(
+            name=spec.name, kind=spec.kind, unit=spec.unit,
+            reps=reps, warmup=warmup, work=0, fingerprint="",
+            deterministic=False, wall_s=walls,
+            error=f"{type(error).__name__}: {error}")
+    deterministic = (len({run.fingerprint for run in runs}) == 1
+                     and len({run.work for run in runs}) == 1)
+    return BenchResult(
+        name=spec.name, kind=spec.kind, unit=spec.unit,
+        reps=len(runs), warmup=warmup, work=runs[0].work,
+        fingerprint=runs[0].fingerprint, deterministic=deterministic,
+        wall_s=walls)
+
+
+def run_suite(fast: bool = False, reps: int = 3, warmup: int = 1,
+              only: Optional[Sequence[str]] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> SuiteResult:
+    """Run the (selected) suite and collect per-benchmark statistics."""
+    selected: List[BenchSpec] = []
+    for spec in SUITE:
+        if only is not None:
+            if spec.name in only:
+                selected.append(spec)
+        elif spec.fast_ok or not fast:
+            selected.append(spec)
+    unknown = set(only or ()) - {spec.name for spec in SUITE}
+    if unknown:
+        raise ValueError(f"unknown benchmark(s): {sorted(unknown)}")
+    results = []
+    for spec in selected:
+        if progress is not None:
+            progress(f"running {spec.name} ({spec.kind}, "
+                     f"{reps} rep(s))...")
+        results.append(run_benchmark(spec, fast, reps, warmup))
+    return SuiteResult(fast=fast, reps=reps, warmup=warmup,
+                       results=results)

@@ -8,6 +8,7 @@ becomes an event.  Events at equal timestamps fire in scheduling order
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -48,11 +49,22 @@ class Simulator:
         self._seq = 0
         self._events_run = 0
         self.max_events = max_events
+        #: Optional hot-loop self-profiler (see
+        #: :mod:`repro.perf.hotprof`).  When attached, :meth:`run` takes
+        #: the instrumented loop that attributes host time to heap-op /
+        #: dispatch / hook phases; when ``None`` (the default) the loop
+        #: carries no timing instrumentation at all.
+        self.profiler = None
 
     @property
     def now_us(self) -> float:
         """Current simulated time in microseconds."""
         return self.now_ns / NS_PER_US
+
+    @property
+    def events_run(self) -> int:
+        """Events executed so far — the denominator of events/sec."""
+        return self._events_run
 
     def schedule_us(self, delay_us: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay_us`` microseconds from now."""
@@ -67,7 +79,14 @@ class Simulator:
                 f"event scheduled in the past: {time_ns} < {self.now_ns}")
         event = Event(time_ns, self._seq, fn)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        profiler = self.profiler
+        if profiler is None:
+            heapq.heappush(self._queue, event)
+        else:
+            t0 = perf_counter()
+            heapq.heappush(self._queue, event)
+            profiler.heap_push_s += perf_counter() - t0
+            profiler.heap_pushes += 1
         return event
 
     def call_now(self, fn: Callable[[], None]) -> Event:
@@ -94,21 +113,73 @@ class Simulator:
 
     def run(self, until_us: Optional[float] = None) -> None:
         """Drain the event queue, optionally stopping once the clock would
-        pass ``until_us``."""
-        if until_us is None:
-            while self.step():
-                pass
+        pass ``until_us``.
+
+        The draining loop is inlined rather than delegating to
+        :meth:`step` — on event-dense simulations the per-event method
+        call and re-entry cost is measurable (see ``repro perf``), and
+        this loop is the hot loop of everything built on the simulator.
+        """
+        if self.profiler is not None:
+            self._run_profiled(until_us)
             return
-        limit_ns = round(until_us * NS_PER_US)
-        while self._queue:
-            # Peek: stop before executing events beyond the horizon.
-            head = self._queue[0]
+        queue = self._queue
+        pop = heapq.heappop
+        limit_ns = (None if until_us is None
+                    else round(until_us * NS_PER_US))
+        while queue:
+            head = queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                pop(queue)
                 continue
-            if head.time_ns > limit_ns:
+            if limit_ns is not None and head.time_ns > limit_ns:
                 break
-            self.step()
+            pop(queue)
+            self.now_ns = head.time_ns
+            self._events_run += 1
+            if self._events_run > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a livelocked simulation")
+            head.fn()
+
+    def _run_profiled(self, until_us: Optional[float] = None) -> None:
+        """The :meth:`run` loop with host-time phase attribution: heap
+        maintenance (pop + cancelled-event skipping) and event dispatch
+        are timed separately; heap pushes and subsystem hooks nested
+        inside a dispatch are timed at their own sites and subtracted by
+        the profiler's report."""
+        profiler = self.profiler
+        queue = self._queue
+        pop = heapq.heappop
+        limit_ns = (None if until_us is None
+                    else round(until_us * NS_PER_US))
+        while queue:
+            t0 = perf_counter()
+            head = queue[0]
+            while head.cancelled:
+                pop(queue)
+                if not queue:
+                    profiler.heap_pop_s += perf_counter() - t0
+                    return
+                head = queue[0]
+            if limit_ns is not None and head.time_ns > limit_ns:
+                profiler.heap_pop_s += perf_counter() - t0
+                break
+            pop(queue)
+            t1 = perf_counter()
+            profiler.heap_pop_s += t1 - t0
+            self.now_ns = head.time_ns
+            self._events_run += 1
+            if self._events_run > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a livelocked simulation")
+            head.fn()
+            profiler.dispatch_s += perf_counter() - t1
+            profiler.events += 1
+            if profiler.events % profiler.sample_every == 0:
+                profiler.take_sample()
 
     def pending(self) -> int:
         """Number of non-cancelled events still queued."""

@@ -589,7 +589,7 @@ class AmberKernel:
         """Pull a victim out of every kernel structure that still
         references it, invalidating in-flight callbacks."""
         if thread.location is not None:
-            node = self.cluster.node(thread.location)
+            node = self.cluster.nodes[thread.location]
             if thread.state is ThreadState.READY:
                 node.scheduler.remove(thread)
             if thread.cpu is not None:
@@ -748,7 +748,7 @@ class AmberKernel:
 
     def _release_cpu(self, thread: SimThread) -> None:
         """Take ``thread`` off its CPU and hand the CPU to the scheduler."""
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         cpu = node.cpus[thread.cpu]
         cpu.thread = None
         cpu.run_event = None
@@ -759,7 +759,7 @@ class AmberKernel:
         """Runs whenever a thread (re)gains a CPU: consume any arrival
         action, then make the context-switch-time residency check of
         section 3.5 before letting user code continue."""
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         action = thread.on_arrival
         if action is not None and action[0] == "invoke":
             _, request, is_root = action
@@ -826,7 +826,10 @@ class AmberKernel:
                 preemptible: bool = False) -> None:
         """Consume ``us`` of CPU on the thread's current CPU, then continue
         with ``then``.  The thread must be RUNNING."""
-        node = self.cluster.node(thread.location)
+        # Direct indexing, not cluster.node(): thread.location is
+        # kernel-maintained (only ever a validated node id), and this
+        # runs once per charge — the single hottest lookup in a run.
+        node = self.cluster.nodes[thread.location]
         cpu = node.cpus[thread.cpu]
         cpu.charge_started_ns = self.sim.now_ns
         cpu.charge_us = us
@@ -861,7 +864,7 @@ class AmberKernel:
                     return
                 self._advance(thread)
                 return
-            node = self.cluster.node(thread.location)
+            node = self.cluster.nodes[thread.location]
             if len(node.scheduler) == 0:
                 # Nobody waiting: take a fresh quantum and keep going.
                 thread.slice_left_us = self.costs.timeslice_us
@@ -881,7 +884,7 @@ class AmberKernel:
         controller = _analysis.CONTROLLER
         if controller is None:
             return False
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         if len(node.scheduler) == 0:
             return False
         names = getattr(node.scheduler, "thread_names", None)
@@ -895,7 +898,7 @@ class AmberKernel:
         return True
 
     def _preempt_for_quantum(self, thread: SimThread) -> None:
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         node.stats.context_switches += 1
         thread.run_token += 1
         self._release_cpu(thread)
@@ -991,7 +994,7 @@ class AmberKernel:
     def _handle_sleep(self, thread: SimThread, request: sc.Sleep) -> None:
         if request.us < 0:
             raise InvocationError(f"negative sleep time: {request.us}")
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
 
         def block() -> None:
             thread.block_reason = "sleep"
@@ -1012,7 +1015,7 @@ class AmberKernel:
         self._charge(thread, self.costs.block_us, block)
 
     def _handle_yield(self, thread: SimThread, request: sc.Yield) -> None:
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
 
         def then() -> None:
             if len(node.scheduler) == 0:
@@ -1037,7 +1040,7 @@ class AmberKernel:
                      lambda: self._invoke_entry(thread, request))
 
     def _invoke_entry(self, thread: SimThread, request: sc.Invoke) -> None:
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         vaddr = request.target.vaddr
         log = self.cluster.access_log.setdefault(vaddr, {})
         log[node.id] = log.get(node.id, 0) + 1
@@ -1084,7 +1087,7 @@ class AmberKernel:
         thread.invoke_remote = False
 
         def then() -> None:
-            node = self.cluster.node(thread.location)
+            node = self.cluster.nodes[thread.location]
             node.stats.local_invocations += 1
             self._push_and_run(
                 thread,
@@ -1173,7 +1176,7 @@ class AmberKernel:
                          result_bytes: int = 0) -> None:
         """Return-time residency check: the frame has been popped; make
         sure we are where the caller's object lives before continuing."""
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         top = thread.stack[-1]
         if node.descriptors.is_resident(top.obj.vaddr):
             self._observe_invoke_latency(thread)
@@ -1377,7 +1380,7 @@ class AmberKernel:
                 thread, target, dest,
                 lambda: self._finish_move(thread, "replicate_us", t0))
             return
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         if node.descriptors.is_resident(target.vaddr):
             self._move_group_local(
                 thread, node, target.vaddr, dest,
@@ -1393,7 +1396,7 @@ class AmberKernel:
     def _resume_after_move(self, thread: SimThread) -> None:
         """After a move completes, the mover itself may now be standing on
         the wrong node (it was bound to the moved group)."""
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         if thread.stack and not node.descriptors.is_resident(
                 thread.stack[-1].obj.vaddr):
             self._trap_and_migrate(thread, thread.stack[-1].obj.vaddr,
@@ -1487,7 +1490,7 @@ class AmberKernel:
                      t0: Optional[float] = None) -> None:
         """MoveTo on a non-resident object: route the request to wherever
         the object lives and run the protocol there."""
-        origin = self.cluster.node(thread.location)
+        origin = self.cluster.nodes[thread.location]
         if t0 is None:
             t0 = self.sim.now_us
 
@@ -1551,7 +1554,7 @@ class AmberKernel:
     def _handle_locate(self, thread: SimThread, request: sc.Locate) -> None:
         self._validate_target(request.target)
         vaddr = request.target.vaddr
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         self.cluster.stats.locates += 1
         t0 = self.sim.now_us
 
@@ -1578,7 +1581,7 @@ class AmberKernel:
     def _handle_attach(self, thread: SimThread, request: sc.Attach) -> None:
         self._validate_target(request.target)
         self._validate_target(request.to)
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         a, b = request.target, request.to
         if a.immutable or b.immutable:
             raise AttachmentError(
@@ -1634,7 +1637,7 @@ class AmberKernel:
     def _handle_refresh(self, thread: SimThread, request: sc.Refresh) -> None:
         self._validate_target(request.target)
         target = request.target
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
         if not target.immutable:
             raise MobilityError(f"Refresh requires an immutable object, "
                                 f"got {target!r}")
@@ -1736,7 +1739,7 @@ class AmberKernel:
         if on_arrival is not None:
             thread.on_arrival = on_arrival
         costs = self.costs
-        node = self.cluster.node(thread.location)
+        node = self.cluster.nodes[thread.location]
 
         def depart() -> None:
             node.stats.threads_out += 1

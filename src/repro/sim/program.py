@@ -21,6 +21,7 @@ from typing import Any, List, Optional
 
 from repro.analyze import runtime as _analysis
 from repro.core.costs import CostModel
+from repro.perf import hotprof as _hotprof
 from repro.errors import DeadlockError
 from repro.sim.cluster import ClusterConfig, SimCluster
 from repro.sim.kernel import AmberKernel
@@ -122,9 +123,17 @@ class AmberProgram:
             sanitizer = _analysis.make_sanitizer()
             sanitizer.bind(cluster)
             _analysis.activate(sanitizer)
+        # Hot-loop self-profiler (repro perf --profile): attached after
+        # the sanitizer so its hook proxy wraps the active sanitizer,
+        # detached before deactivation so the original is restored.
+        profiler = _hotprof.current()
+        if profiler is not None:
+            profiler.attach(cluster)
         try:
             cluster.sim.run(until_us)
         finally:
+            if profiler is not None:
+                profiler.detach()
             if sanitizer is not None:
                 _analysis.deactivate()
                 sanitizer.unbind()

@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.obs.metrics import (
+    _BUCKET_BASE,
     Counter,
     Gauge,
     LatencyHistogram,
@@ -125,6 +126,73 @@ class TestLatencyHistogram:
         summary = histogram.summary()
         for key in ("count", "mean", "min", "p50", "p90", "p99", "max"):
             assert key in summary
+
+
+class TestHistogramQuantileAccuracy:
+    """p50/p90/p99 against exact quantiles of known distributions: the
+    log-scale estimate must land within one bucket (a factor of
+    10**0.25) of the true order statistic, never below it except where
+    clamping to the tracked max applies."""
+
+    PERCENTILES = (50, 90, 99)
+
+    @staticmethod
+    def _exact(values, p):
+        """The order statistic the histogram targets: the smallest
+        element whose rank covers ``ceil(count * p / 100)``."""
+        ordered = sorted(values)
+        rank = max(1, min(math.ceil(len(ordered) * p / 100.0),
+                          len(ordered)))
+        return ordered[rank - 1]
+
+    def _assert_within_one_bucket(self, values):
+        histogram = LatencyHistogram("lat")
+        for value in values:
+            histogram.observe(value)
+        for p in self.PERCENTILES:
+            exact = self._exact(values, p)
+            got = histogram.percentile(p)
+            # Conservative: at or above the exact quantile (up to the
+            # tracked max), and no more than one bucket width over.
+            assert got >= min(exact, histogram.max) * (1 - 1e-12), \
+                (p, exact, got)
+            assert got <= max(exact * _BUCKET_BASE, histogram.min), \
+                (p, exact, got)
+
+    def test_uniform_distribution(self):
+        self._assert_within_one_bucket(
+            [float(v) for v in range(1, 1001)])
+
+    def test_log_spaced_distribution(self):
+        # Six decades: exercises many distinct buckets.
+        self._assert_within_one_bucket(
+            [10 ** (i / 100.0) for i in range(0, 600)])
+
+    def test_heavy_tail_distribution(self):
+        # 99% fast ops + 1% thousand-fold stragglers: p99 must not be
+        # dragged down by the dense head.
+        values = [1.0 + (i % 7) * 0.1 for i in range(990)]
+        values += [1500.0 + i for i in range(10)]
+        self._assert_within_one_bucket(values)
+
+    def test_duplicates_only(self):
+        self._assert_within_one_bucket([42.0] * 500)
+
+    def test_subunit_values(self):
+        # Below 1.0 the log indices go negative; accuracy must hold.
+        self._assert_within_one_bucket(
+            [0.001 * v for v in range(1, 400)])
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        histogram = LatencyHistogram("lat")
+        for p in self.PERCENTILES:
+            assert histogram.percentile(p) == 0.0
+
+    def test_single_sample_is_exact_at_every_percentile(self):
+        histogram = LatencyHistogram("lat")
+        histogram.observe(7.25)
+        for p in (0, 1, 50, 90, 99, 100):
+            assert histogram.percentile(p) == 7.25
 
 
 class TestMetricsRegistry:
