@@ -1,7 +1,7 @@
 # Convenience targets for the Amber reproduction.
 
 .PHONY: install test bench perf artifacts examples lint analyze \
-	amber-check check clean
+	amber-check check chaos clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,12 @@ analyze:
 
 amber-check:
 	PYTHONPATH=src python -m repro check --fast
+
+# AmberChaos: seeded live-runtime chaos scenario suite (docs/CHAOS.md).
+chaos:
+	for seed in 0 1 2; do \
+		PYTHONPATH=src python -m repro chaos --fast --seed $$seed || exit 1; \
+	done
 
 # The full static + dynamic + model-checking gauntlet.
 check: lint analyze amber-check

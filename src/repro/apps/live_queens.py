@@ -1,0 +1,106 @@
+"""The N-Queens work pool on the live multiprocess runtime.
+
+The same decomposition as :mod:`repro.apps.queens` (simulated), rebuilt
+with live objects: a :class:`LiveWorkPool` on one node, worker objects
+on every node pulling batches through function-shipped invocations.
+Counting is real, so the total must match the known solution counts —
+which is exactly what makes this workload the chaos suite's
+*exactly-once* probe: a double-executed ``report`` (duplicate delivery)
+inflates the totals, a lost one (drop without recovery) deflates them.
+Either discrepancy fails the ``repro chaos`` verdict (docs/CHAOS.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+from repro.apps.queens import count_completions, seed_prefixes
+from repro.runtime.cluster import Cluster
+from repro.runtime.objects import AmberObject, current_node
+
+
+class LiveWorkPool(AmberObject):
+    """Shared batch queue plus the solution accumulator."""
+
+    def __init__(self, prefixes):
+        self._lock = threading.Lock()
+        self._work = list(prefixes)
+        self.solutions = 0
+        self.units_done = 0
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def take(self, batch=2):
+        with self._lock:
+            units, self._work = (self._work[:batch],
+                                 self._work[batch:])
+            return units
+
+    def report(self, solutions, units):
+        with self._lock:
+            self.solutions += solutions
+            self.units_done += units
+
+    def summary(self):
+        with self._lock:
+            return self.solutions, self.units_done
+
+
+class LiveWorker(AmberObject):
+    """One worker: pulls batches from the pool until it drains."""
+
+    def __init__(self, n, pool):
+        self.n = n
+        self.pool = pool
+
+    def run(self, batch=2):
+        solved = 0
+        nodes_seen = set()
+        while True:
+            prefixes = self.pool.take(batch)
+            if not prefixes:
+                return solved, sorted(nodes_seen)
+            nodes_seen.add(current_node())
+            total = 0
+            for prefix in prefixes:
+                solutions, _ = count_completions(self.n, prefix)
+                total += solutions
+            self.pool.report(total, len(prefixes))
+            solved += len(prefixes)
+
+
+def run_live_queens(n: int, nodes: int = 2, pool_node: int = 0,
+                    batch: int = 2, prefix_rows: int = 2,
+                    cluster: Optional[Cluster] = None
+                    ) -> Tuple[int, int, int]:
+    """Count the ``n``-Queens solutions on a live cluster.
+
+    Returns ``(solutions, units_done, total_units)``.  Pass an existing
+    ``cluster`` to reuse one (tests, chaos scenarios); otherwise one is
+    spawned and torn down around the run.
+    """
+    prefixes = seed_prefixes(n, prefix_rows)
+    owns_cluster = cluster is None
+    if owns_cluster:
+        cluster = Cluster(nodes=nodes)
+    try:
+        pool = cluster.create(LiveWorkPool, prefixes, node=pool_node)
+        workers = [cluster.create(LiveWorker, n, pool, node=node)
+                   for node in range(nodes)]
+        threads = [cluster.fork(worker, "run", batch)
+                   for worker in workers]
+        for thread in threads:
+            thread.join(timeout=120)
+        solutions, units = pool.summary()
+        return solutions, units, len(prefixes)
+    finally:
+        if owns_cluster:
+            cluster.shutdown()

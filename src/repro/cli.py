@@ -17,6 +17,11 @@
                                               # report (see docs/FAULTS.md)
     python -m repro faults --recover [--fast] # permanent-crash recovery
                                               # report (docs/RECOVERY.md)
+    python -m repro chaos [--fast] [--seed N] [--json PATH]
+                                              # live-runtime chaos suite:
+                                              # loss/dup/reset/kill against
+                                              # real node processes
+                                              # (see docs/CHAOS.md)
     python -m repro analyze [--fast] [--seed N]
                                               # AmberSan race/deadlock
                                               # scenarios (docs/ANALYSIS.md)
@@ -171,6 +176,20 @@ def _cmd_faults(args) -> int:
         with open(args.metrics_json, "w") as handle:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"\nreport written to {args.metrics_json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.faults.livescenario import run_chaos_scenarios
+
+    report = run_chaos_scenarios(seed=args.seed, fast=args.fast)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nreport written to {args.json}")
     return 0 if report.ok else 1
 
 
@@ -432,6 +451,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="run under AmberSan and print its findings "
                          "(simulated times are unchanged)")
 
+    xp = sub.add_parser("chaos",
+                        help="AmberChaos: run the live-runtime chaos "
+                             "scenarios (seeded loss/dup/delay/resets "
+                             "plus mid-run process kills) and print a "
+                             "pass/fail report")
+    xp.add_argument("--fast", action="store_true",
+                    help="smaller workloads (CI smoke)")
+    xp.add_argument("--seed", type=int, default=0,
+                    help="fault plan seed (default: 0)")
+    xp.add_argument("--json", metavar="PATH", default=None,
+                    help="dump the report (verdicts + hardening/chaos "
+                         "counters) as JSON")
+
     ap = sub.add_parser("analyze",
                         help="run the AmberSan analysis scenarios "
                              "(race/immutable/residency/lock-order) and "
@@ -532,6 +564,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "check":

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.address_space import DEFAULT_REGION_BYTES
 from repro.errors import ClusterError
@@ -34,7 +34,8 @@ class Cluster:
 
     def __init__(self, nodes: int = 2,
                  region_bytes: int = DEFAULT_REGION_BYTES,
-                 start_timeout: Optional[float] = None):
+                 start_timeout: Optional[float] = None,
+                 chaos=None):
         if nodes < 1:
             raise ClusterError("a cluster needs at least one node")
         if start_timeout is None:
@@ -42,19 +43,21 @@ class Cluster:
             # runtime (see repro.recovery.config).
             start_timeout = peer_timeout_s()
         self.num_nodes = nodes
+        self._region_bytes = region_bytes
+        #: Optional frozen FaultPlan: every node's mesh (driver
+        #: included) gets a seeded LiveFaultInjector, and
+        #: :meth:`start_chaos` runs the plan's kill/restart schedule.
+        self._chaos = chaos
+        self._chaos_controller = None
         self._coordinator = Coordinator(nodes, region_bytes)
-        context = multiprocessing.get_context("fork")
-        self._processes: List[multiprocessing.Process] = []
+        self._context = multiprocessing.get_context("fork")
+        self._processes: Dict[int, multiprocessing.Process] = {}
         for node_id in range(1, nodes):
-            process = context.Process(
-                target=node_main,
-                args=(node_id, self._coordinator.address, region_bytes),
-                name=f"amber-node-{node_id}", daemon=True)
-            process.start()
-            self._processes.append(process)
+            self._spawn_node(node_id)
         self._client = CoordinatorClient(self._coordinator.address,
                                          region_bytes)
-        self.kernel = NodeKernel(0, self._client)
+        self.kernel = NodeKernel(0, self._client, chaos=chaos)
+        self._client.on_directory = self.kernel.mesh.set_directory
         self._client.register(0, self.kernel.mesh.address)
         self._client.start_heartbeats(0)
         directory = self._client.wait_directory(timeout=start_timeout)
@@ -63,6 +66,15 @@ class Cluster:
         #: Wall-clock latency histograms for driver-side operations
         #: (``invoke_us``, ``move_us``, ``locate_us``, ``create_us``).
         self.metrics = MetricsRegistry()
+
+    def _spawn_node(self, node_id: int) -> None:
+        process = self._context.Process(
+            target=node_main,
+            args=(node_id, self._coordinator.address,
+                  self._region_bytes, self._chaos),
+            name=f"amber-node-{node_id}", daemon=True)
+        process.start()
+        self._processes[node_id] = process
 
     # -- program-facing API -------------------------------------------------
 
@@ -120,16 +132,54 @@ class Cluster:
         recover — see docs/RECOVERY.md for the simulator's full story."""
         return self._client.failed_peers()
 
+    # -- chaos (docs/CHAOS.md) ----------------------------------------------
+
+    def start_chaos(self):
+        """Start executing the fault plan's kill/restart schedule
+        against this cluster's node processes.  Returns the
+        :class:`~repro.faults.live.ChaosController` (``stop()``/
+        ``join()`` it, or let ``shutdown`` stop it)."""
+        if self._chaos is None:
+            raise ClusterError("cluster was started without a fault plan")
+        from repro.faults.live import ChaosController
+        self._chaos_controller = ChaosController(self, self._chaos).start()
+        return self._chaos_controller
+
+    def kill_node(self, node: int) -> None:
+        """SIGKILL one non-driver node's process: fail-stop, no goodbye
+        frames — the failure detector and the request deadlines own the
+        aftermath."""
+        if not 1 <= node < self.num_nodes:
+            raise ClusterError(f"cannot kill node {node}")
+        process = self._processes.get(node)
+        if process is None or not process.is_alive():
+            return
+        process.kill()
+        process.join(timeout=5)
+
+    def restart_node(self, node: int) -> None:
+        """Fork a replacement process for a killed node.  It re-registers
+        with the coordinator (fresh mesh address), which rebroadcasts the
+        directory so survivors redial it."""
+        if not 1 <= node < self.num_nodes:
+            raise ClusterError(f"cannot restart node {node}")
+        old = self._processes.get(node)
+        if old is not None and old.is_alive():
+            return
+        self._spawn_node(node)
+
     # -- lifecycle ----------------------------------------------------------
 
     def shutdown(self) -> None:
         if not self._alive:
             return
         self._alive = False
+        if self._chaos_controller is not None:
+            self._chaos_controller.stop()
         self._coordinator.broadcast_shutdown()
-        for process in self._processes:
+        for process in self._processes.values():
             process.join(timeout=5)
-        for process in self._processes:
+        for process in self._processes.values():
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=2)

@@ -21,10 +21,12 @@ import itertools
 import logging
 import pickle
 import queue
+import random
 import threading
 import time
 import traceback
-from typing import Any, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.address_space import NodeHeap, Region
 from repro.core.attachment import AttachmentGraph
@@ -37,9 +39,11 @@ from repro.errors import (
     NodeFailure,
     ObjectNotFoundError,
     RemoteInvocationError,
+    RuntimeTransportError,
 )
 from repro.recovery.config import reply_timeout_s
 from repro.runtime import messages as m
+from repro.runtime.circuit import OPEN, PeerCircuits
 from repro.runtime.handles import Handle
 from repro.runtime.objects import AmberObject, set_process_kernel
 from repro.runtime.transport import Mesh
@@ -55,10 +59,95 @@ MOVE_DRAIN_TIMEOUT = 30.0
 #: answer (even pickling failures reply with an error), so hitting this
 #: indicates a lost peer; better a TimeoutError than a silent hang.
 #: Derived from REPRO_PEER_TIMEOUT_S (default 30 s -> 120 s here); see
-#: repro.recovery.config.
+#: repro.recovery.config.  Kept for documentation/compat; the kernel
+#: reads the knob per request so tests and chaos scenarios can tighten
+#: it at runtime.
 DEFAULT_REPLY_TIMEOUT = reply_timeout_s()
 
+#: Receive-side at-most-once window: completed requests remembered per
+#: node (their cached replies are re-sent to duplicate requests).
+DEDUP_CAPACITY = 8192
+
+#: Retransmission-timeout bounds for one hardened request, seconds.
+#: The base scales with the reply deadline so a tightened
+#: REPRO_PEER_TIMEOUT_S tightens the whole ladder.
+RTO_MIN_S = 0.05
+RTO_MAX_S = 2.0
+RTO_CAP_FACTOR = 4.0
+
 log = logging.getLogger(__name__)
+
+
+def _rto_base_s() -> float:
+    return max(RTO_MIN_S, min(RTO_MAX_S, reply_timeout_s() / 24.0))
+
+
+class _Pending:
+    """One outstanding request: its reply box plus everything needed to
+    re-send it (lost-request/lost-reply recovery)."""
+
+    __slots__ = ("box", "message", "route", "last_target")
+
+    def __init__(self, message: Any,
+                 route: Callable[[], int]):
+        self.box: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.message = message
+        self.route = route
+        self.last_target: Optional[int] = None
+
+
+class _Dedup:
+    """Receive-side at-most-once table: ``(origin, request_id)`` ->
+    in-progress marker or the cached :class:`~repro.runtime.messages.
+    ResultMsg`.  Bounded FIFO — old completions are evicted first."""
+
+    _IN_PROGRESS = object()
+
+    def __init__(self, capacity: int = DEDUP_CAPACITY):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict" = OrderedDict()
+
+    def claim(self, key) -> Tuple[str, Any]:
+        """Atomically claim ``key`` for execution.  Returns one of
+        ``("new", None)`` (execute it), ``("in_progress", None)`` (a
+        twin is executing; drop this copy — its reply is coming), or
+        ``("replay", cached_result)`` (already executed; re-send the
+        cached reply)."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self._entries[key] = self._IN_PROGRESS
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                return "new", None
+            if cached is self._IN_PROGRESS:
+                return "in_progress", None
+            return "replay", cached
+
+    def peek(self, key) -> Tuple[str, Any]:
+        """Non-claiming lookup: ``("absent", None)``, ``("in_progress",
+        None)``, or ``("replay", cached_result)``.  Used before routing
+        so a duplicate of a request this node already answered is
+        replayed even if the object has since moved away."""
+        with self._lock:
+            cached = self._entries.get(key)
+        if cached is None:
+            return "absent", None
+        if cached is self._IN_PROGRESS:
+            return "in_progress", None
+        return "replay", cached
+
+    def complete(self, key, result: Any) -> None:
+        with self._lock:
+            if key not in self._entries:
+                while len(self._entries) >= self.capacity:
+                    self._entries.popitem(last=False)
+            self._entries[key] = result
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class ThreadHandle:
@@ -80,10 +169,16 @@ class ThreadHandle:
 
 
 class NodeKernel:
-    def __init__(self, node_id: int, coordinator_client):
+    def __init__(self, node_id: int, coordinator_client, chaos=None):
         self.node_id = node_id
         self._coord = coordinator_client
-        self.mesh = Mesh(node_id, self._on_message)
+        self.chaos = None
+        if chaos is not None:
+            from repro.faults.live import LiveFaultInjector
+            self.chaos = LiveFaultInjector(chaos, node_id)
+        self.mesh = Mesh(node_id, self._on_message, chaos=self.chaos)
+        self._circuits = PeerCircuits()
+        self._dedup = _Dedup()
         self._state = threading.RLock()
         self._drained = threading.Condition(self._state)
         self._objects: Dict[int, AmberObject] = {}
@@ -93,8 +188,18 @@ class NodeKernel:
         self._regions: Dict[int, Region] = {}
         self._heap = NodeHeap(node_id, coordinator_client,
                               on_grant=self._record_region)
-        self._pending: Dict[int, "queue.SimpleQueue"] = {}
+        self._pending: Dict[int, _Pending] = {}
+        #: Detached requests (forks nobody has joined yet): request id
+        #: -> [next_resend_at, rto_s, give_up_at].  A daemon thread
+        #: retransmits these — without it a dropped fork frame is lost
+        #: until (and unless) someone calls wait_reply.
+        self._detached: Dict[int, list] = {}
+        self._detached_lock = threading.Lock()
+        self._resender_stop = threading.Event()
         self._request_ids = itertools.count(node_id, 1_000_003)
+        #: Jitter source for the resend ladder (seeded per node so test
+        #: runs are reproducible).
+        self._rng = random.Random(node_id ^ 0x5EED)
         self.stats: Dict[str, int] = {
             "local_invocations": 0,
             "remote_invocations": 0,
@@ -104,8 +209,16 @@ class NodeKernel:
             "moves_out": 0,
             "replicas_installed": 0,
             "hints": 0,
+            # Request-lifecycle hardening (docs/CHAOS.md).
+            "resends": 0,
+            "dedup_in_flight": 0,
+            "dedup_replayed": 0,
+            "circuit_fast_fails": 0,
+            "circuit_reroutes": 0,
         }
         set_process_kernel(self)
+        threading.Thread(target=self._resend_detached_loop, daemon=True,
+                         name=f"amber-resender-{node_id}").start()
 
     # ------------------------------------------------------------------
     # Public API (used by Cluster and by code inside operations)
@@ -116,10 +229,9 @@ class NodeKernel:
         """Create an object (locally, or on ``node``)."""
         if node is None or node == self.node_id:
             return Handle(self._create_local(cls, args, kwargs))
-        request_id, box = self._new_request()
-        self.mesh.send(node, m.CreateMsg(request_id, self.node_id,
-                                         cls, args, kwargs))
-        return Handle(self._await(box, request_id=request_id))
+        return Handle(self._request(
+            lambda rid: m.CreateMsg(rid, self.node_id, cls, args, kwargs),
+            self._fixed_router(node)))
 
     def invoke(self, vaddr: int, method: str, args: Tuple,
                kwargs: dict) -> Any:
@@ -130,103 +242,334 @@ class NodeKernel:
             self.stats["local_invocations"] += 1
             return self._execute(obj, method, args, kwargs)
         self.stats["remote_invocations"] += 1
-        request_id, box = self._new_request()
-        message = m.InvokeMsg(request_id, self.node_id, vaddr, method,
-                              args, kwargs, trace=(self.node_id,))
-        self.mesh.send(self._believed(vaddr), message)
-        return self._await(box, request_id=request_id)
+        return self._request(
+            lambda rid: m.InvokeMsg(rid, self.node_id, vaddr, method,
+                                    args, kwargs, trace=(self.node_id,)),
+            self._router(vaddr))
 
     def fork(self, vaddr: int, method: str, args: Tuple,
              kwargs: dict) -> ThreadHandle:
         """Start an Amber thread running ``method`` on the object; it
         executes at the object's node."""
-        request_id, box = self._new_request()
+        request_id = next(self._request_ids)
         message = m.InvokeMsg(request_id, self.node_id, vaddr, method,
                               args, kwargs, trace=(self.node_id,))
-        target = self._believed(vaddr) if self._resident_object(vaddr) \
-            is None else self.node_id
-        self.mesh.send(target, message)
+        route = self._router_or_here(vaddr)
+        entry = _Pending(message, route)
+        self._pending[request_id] = entry
+        try:
+            self._send_request(entry)
+        except (RuntimeTransportError, OSError):
+            pass   # transient: the resender daemon owns it
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        # Until someone joins this thread no caller is pumping a resend
+        # ladder for it, so hand it to the resender daemon: a dropped
+        # fork frame must not wedge until (or unless) join is called.
+        now = time.monotonic()
+        rto = _rto_base_s()
+        with self._detached_lock:
+            self._detached[request_id] = [now + rto, rto,
+                                          now + reply_timeout_s()]
         return ThreadHandle(self, request_id, f"{method}@{vaddr:#x}")
 
     def move(self, vaddr: int, dest: int) -> None:
         """MoveTo: relocate the object (and its attachment group)."""
-        request_id, box = self._new_request()
-        message = m.MoveMsg(request_id, self.node_id, vaddr, dest)
-        self.mesh.send(self._believed_or_here(vaddr), message)
-        self._await(box, request_id=request_id)
+        self._request(
+            lambda rid: m.MoveMsg(rid, self.node_id, vaddr, dest),
+            self._router_or_here(vaddr))
 
     def locate(self, vaddr: int) -> int:
         """Locate: the node where the object currently resides."""
         if self._resident_object(vaddr) is not None:
             return self.node_id
-        request_id, box = self._new_request()
-        self.mesh.send(self._believed(vaddr),
-                       m.LocateMsg(request_id, self.node_id, vaddr,
-                                   trace=(self.node_id,)))
-        return self._await(box, request_id=request_id)
+        return self._request(
+            lambda rid: m.LocateMsg(rid, self.node_id, vaddr,
+                                    trace=(self.node_id,)),
+            self._router(vaddr))
 
     def control(self, vaddr: int, op: str, extra: Any = None) -> Any:
         """Routed kernel operation on an object: ``set_immutable``,
         ``attach``, ``unattach``, ``delete``."""
-        request_id, box = self._new_request()
-        message = m.ControlMsg(request_id, self.node_id, vaddr, op, extra)
-        self.mesh.send(self._believed_or_here(vaddr), message)
-        return self._await(box, request_id=request_id)
+        return self._request(
+            lambda rid: m.ControlMsg(rid, self.node_id, vaddr, op, extra),
+            self._router_or_here(vaddr))
 
     def node_stats(self, node: int) -> Dict[str, int]:
         if node == self.node_id:
             return self._stats_snapshot()
-        request_id, box = self._new_request()
-        self.mesh.send(node, m.ControlMsg(request_id, self.node_id,
-                                          -1, "stats", None))
-        return self._await(box, request_id=request_id)
+        return self._request(
+            lambda rid: m.ControlMsg(rid, self.node_id, -1, "stats",
+                                     None),
+            self._fixed_router(node))
 
     def _stats_snapshot(self) -> Dict[str, int]:
-        """Kernel counters plus the mesh's, as ``transport_*`` keys."""
+        """Kernel counters plus the mesh's (as ``transport_*`` keys),
+        the circuit breakers', and the chaos layer's."""
         snapshot = dict(self.stats)
         for key, value in self.mesh.stats.items():
             snapshot[f"transport_{key}"] = value
+        snapshot.update(self._circuits.stats)
+        if self.chaos is not None:
+            snapshot.update(self.chaos.stats)
         return snapshot
 
     def wait_reply(self, request_id: int,
                    timeout: Optional[float] = None) -> Any:
-        box = self._pending.get(request_id)
-        if box is None:
+        entry = self._pending.get(request_id)
+        if entry is None:
             raise AmberError(f"unknown request id {request_id}")
-        return self._await(box, timeout, request_id)
+        with self._detached_lock:
+            self._detached.pop(request_id, None)   # the waiter's ladder
+            # takes over from the resender daemon
+        try:
+            return self._await_hardened(entry, timeout)
+        finally:
+            self._pending.pop(request_id, None)
 
     def shutdown(self) -> None:
+        self._resender_stop.set()
         self.mesh.close()
 
+    def _resend_detached_loop(self) -> None:
+        """Retransmit detached requests (started threads nobody joined
+        yet) on the same backoff ladder ``_await_hardened`` uses, until
+        each is answered, fails typed, or outlives the reply deadline
+        (after which a late ``wait_reply`` restarts its own ladder)."""
+        while not self._resender_stop.wait(0.05):
+            now = time.monotonic()
+            with self._detached_lock:
+                due = [(rid, state) for rid, state in
+                       self._detached.items() if now >= state[0]]
+            for request_id, state in due:
+                entry = self._pending.get(request_id)
+                if entry is None or not entry.box.empty():
+                    with self._detached_lock:
+                        self._detached.pop(request_id, None)
+                    continue
+                if now >= state[2]:
+                    # Deadline exhausted: stop retransmitting; the
+                    # verdict belongs to whoever eventually joins.
+                    with self._detached_lock:
+                        self._detached.pop(request_id, None)
+                    continue
+                self.stats["resends"] += 1
+                try:
+                    self._send_request(entry)
+                except (NodeFailure, ObjectNotFoundError) as error:
+                    # Typed and definitive: park it in the reply box for
+                    # the eventual join.
+                    entry.box.put((False, None, error))
+                    with self._detached_lock:
+                        self._detached.pop(request_id, None)
+                    continue
+                except (RuntimeTransportError, OSError):
+                    pass             # transient: keep the ladder going
+                except Exception:    # pragma: no cover - defensive
+                    log.debug("detached resend failed", exc_info=True)
+                state[1] = min(state[1] * 2.0,
+                               _rto_base_s() * RTO_CAP_FACTOR) \
+                    * (1.0 + 0.25 * self._rng.random())
+                state[0] = now + state[1]
+
     # ------------------------------------------------------------------
-    # Request plumbing
+    # Request plumbing: send, re-send with backoff, bounded wait
     # ------------------------------------------------------------------
 
-    def _new_request(self) -> Tuple[int, "queue.SimpleQueue"]:
+    def _request(self, build: Callable[[int], Any],
+                 route: Callable[[], int],
+                 timeout: Optional[float] = None) -> Any:
+        """Send one request and wait for its reply, re-sending on a
+        backoff ladder until the per-request deadline.
+
+        ``build(request_id)`` constructs the message; ``route()`` names
+        the current target node and is re-evaluated on every (re)send,
+        so a re-send follows fresh location hints and circuit reroutes.
+        The caller is guaranteed a typed outcome within the deadline:
+        the reply, the remote error, :class:`NodeFailure` (peer
+        suspected dead / circuit open), or :class:`TimeoutError`."""
         request_id = next(self._request_ids)
-        box: "queue.SimpleQueue" = queue.SimpleQueue()
-        self._pending[request_id] = box
-        return request_id, box
-
-    def _await(self, box: "queue.SimpleQueue",
-               timeout: Optional[float] = None,
-               request_id: Optional[int] = None) -> Any:
+        entry = _Pending(build(request_id), route)
+        self._pending[request_id] = entry
         try:
-            ok, value, error = box.get(
-                timeout=DEFAULT_REPLY_TIMEOUT if timeout is None
-                else timeout)
-        except queue.Empty:
-            raise TimeoutError("no reply within timeout") from None
+            try:
+                self._send_request(entry)
+            except (RuntimeTransportError, OSError):
+                # Transient wire failure: the resend ladder owns it.
+                # Typed verdicts (NodeFailure from an open circuit,
+                # ObjectNotFoundError from routing) propagate above.
+                pass
+            return self._await_hardened(entry, timeout)
         finally:
-            if request_id is not None:
-                self._pending.pop(request_id, None)
-        if ok:
-            return value
-        raise error
+            self._pending.pop(request_id, None)
+
+    def _send_request(self, entry: _Pending) -> None:
+        """One transmission of a pending request; routing and circuit
+        decisions happen here, transport failures feed the breaker."""
+        target = entry.route()
+        entry.last_target = target
+        try:
+            self.mesh.send(target, entry.message)
+        except (RuntimeTransportError, OSError):
+            if target != self.node_id:
+                self._circuits.record_failure(target)
+            raise
+
+    def _await_hardened(self, entry: _Pending,
+                        timeout: Optional[float] = None) -> Any:
+        deadline_s = reply_timeout_s() if timeout is None else timeout
+        deadline = time.monotonic() + deadline_s
+        rto = _rto_base_s()
+        rto_cap = rto * RTO_CAP_FACTOR
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise self._deadline_error(entry, deadline_s)
+            try:
+                ok, value, error = entry.box.get(
+                    timeout=min(rto, remaining))
+            except queue.Empty:
+                if deadline - time.monotonic() <= 0:
+                    raise self._deadline_error(entry,
+                                               deadline_s) from None
+                # The request or its reply may be lost: re-send.  The
+                # receive side's at-most-once dedup makes this safe —
+                # an in-flight twin is dropped, a completed one gets
+                # its cached reply replayed.
+                self.stats["resends"] += 1
+                try:
+                    self._send_request(entry)
+                except (NodeFailure, ObjectNotFoundError):
+                    raise            # typed and definitive
+                except (RuntimeTransportError, OSError):
+                    pass             # transient: keep waiting/retrying
+                rto = min(rto * 2.0, rto_cap) \
+                    * (1.0 + 0.25 * self._rng.random())
+                continue
+            if ok:
+                if entry.last_target not in (None, self.node_id):
+                    self._circuits.record_success(entry.last_target)
+                return value
+            raise error
+
+    def _deadline_error(self, entry: _Pending,
+                        deadline_s: float) -> Exception:
+        """The typed verdict for a request that exhausted its deadline:
+        NodeFailure when the peer is known-bad, TimeoutError otherwise."""
+        target = entry.last_target
+        if target is not None and target != self.node_id:
+            self._circuits.record_failure(target)
+            if target in self._suspected_peers():
+                return NodeFailure(
+                    f"node {self.node_id}: no reply to "
+                    f"{type(entry.message).__name__} from node {target} "
+                    f"within {deadline_s:.1f}s and the failure detector "
+                    f"suspects it dead")
+        return TimeoutError(
+            f"node {self.node_id}: no reply to "
+            f"{type(entry.message).__name__} within {deadline_s:.1f}s")
+
+    # -- routing + circuit breaking ------------------------------------
+
+    def _suspected_peers(self) -> set:
+        failed = getattr(self._coord, "failed_peers", None)
+        if failed is None:
+            return set()
+        try:
+            return failed()
+        except Exception:      # pragma: no cover - defensive
+            return set()
+
+    def _router(self, vaddr: int) -> Callable[[], int]:
+        def route() -> int:
+            return self._check_circuit(self._believed(vaddr), vaddr)
+        return route
+
+    def _router_or_here(self, vaddr: int) -> Callable[[], int]:
+        def route() -> int:
+            if self._resident_object(vaddr) is not None:
+                return self.node_id
+            return self._check_circuit(self._believed(vaddr), vaddr)
+        return route
+
+    def _fixed_router(self, node: int) -> Callable[[], int]:
+        def route() -> int:
+            return self._check_circuit(node, None)
+        return route
+
+    def _check_circuit(self, target: int,
+                       vaddr: Optional[int]) -> int:
+        """Fail fast (or reroute via the home node) instead of burning
+        the full backoff ladder against a peer known to be down."""
+        if target == self.node_id:
+            return target
+        suspected = self._suspected_peers()
+        if self._circuits.check(target, target in suspected) != OPEN:
+            return target
+        if vaddr is not None:
+            home = self._home_node(vaddr)
+            if home not in (target, self.node_id) and \
+                    self._circuits.check(home,
+                                         home in suspected) != OPEN:
+                self.stats["circuit_reroutes"] += 1
+                return home
+        self.stats["circuit_fast_fails"] += 1
+        raise NodeFailure(
+            f"node {self.node_id}: node {target} is unavailable "
+            f"(circuit open{', suspected dead' if target in suspected else ''})")
+
+    # -- at-most-once execution (receive side) -------------------------
+
+    def _already_handled(self, message) -> bool:
+        """Duplicate-suppression peek, before any routing: a request
+        this node already answered is replayed from the reply cache, a
+        twin of one still executing is dropped (its reply is coming).
+        Non-claiming — the atomic gate is :meth:`_begin_request` at the
+        point of execution."""
+        status, cached = self._dedup.peek(
+            (message.reply_to, message.request_id))
+        if status == "replay":
+            self.stats["dedup_replayed"] += 1
+            self._send_quiet(message.reply_to, cached)
+            return True
+        if status == "in_progress":
+            self.stats["dedup_in_flight"] += 1
+            return True
+        return False
+
+    def _begin_request(self, message) -> bool:
+        """Atomically claim one routed request for execution.  Returns
+        True when this copy should execute; False when it was a
+        duplicate (dropped, or answered from the reply cache)."""
+        status, cached = self._dedup.claim(
+            (message.reply_to, message.request_id))
+        if status == "new":
+            return True
+        if status == "replay":
+            self.stats["dedup_replayed"] += 1
+            self._send_quiet(message.reply_to, cached)
+        else:
+            self.stats["dedup_in_flight"] += 1
+        return False
+
+    def _send_quiet(self, node: int, message: Any) -> None:
+        """Best-effort send (replayed replies, location hints): losing
+        one is recovered by the sender's own resend ladder."""
+        try:
+            self.mesh.send(node, message)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            pass
 
     def _reply(self, to_node: int, request_id: int, value: Any) -> None:
+        result = m.ResultMsg(request_id, True, value)
+        # Cache before sending: if the reply is lost on the wire, the
+        # caller's re-sent request finds it here and replays it.
+        self._dedup.complete((to_node, request_id), result)
         try:
-            self.mesh.send(to_node, m.ResultMsg(request_id, True, value))
+            self.mesh.send(to_node, result)
         except Exception as error:
             # Most often: the result is not picklable.  The caller must
             # still get an answer or it would wait forever.
@@ -257,8 +600,9 @@ class NodeKernel:
             error = RemoteInvocationError(
                 f"{type(error).__name__}: {error}",
                 remote_traceback=traceback.format_exc())
-        self.mesh.send(to_node,
-                       m.ResultMsg(request_id, False, None, error))
+        result = m.ResultMsg(request_id, False, None, error)
+        self._dedup.complete((to_node, request_id), result)
+        self.mesh.send(to_node, result)
 
     # ------------------------------------------------------------------
     # Routing helpers
@@ -341,13 +685,19 @@ class NodeKernel:
     # Message handling
     # ------------------------------------------------------------------
 
-    _INLINE = (m.ResultMsg, m.InstallAck, m.LocationHint)
+    #: Routed requests: carry ``(reply_to, request_id)``, get a reply,
+    #: and therefore pass through the at-most-once gate.
+    _REQUESTS = (m.InvokeMsg, m.CreateMsg, m.MoveMsg, m.InstallMsg,
+                 m.LocateMsg, m.FetchReplicaMsg, m.ControlMsg)
 
     def _on_message(self, peer: int, message: Any) -> None:
         if isinstance(message, m.ResultMsg):
-            box = self._pending.get(message.request_id)
-            if box is not None:
-                box.put((message.ok, message.value, message.error))
+            entry = self._pending.get(message.request_id)
+            if entry is not None:
+                # A duplicate/replayed reply just parks a second item in
+                # a box nobody reads again; request ids are never reused
+                # (a strided counter), so mis-delivery cannot happen.
+                entry.box.put((message.ok, message.value, message.error))
             return
         if isinstance(message, m.LocationHint):
             with self._state:
@@ -361,6 +711,9 @@ class NodeKernel:
 
     def _dispatch(self, message: Any) -> None:
         try:
+            if isinstance(message, self._REQUESTS) and \
+                    self._already_handled(message):
+                return
             if isinstance(message, m.InvokeMsg):
                 self._handle_invoke(message)
             elif isinstance(message, m.CreateMsg):
@@ -383,6 +736,12 @@ class NodeKernel:
             # fault injection; the requester's reply timeout (or the
             # failure detector) owns the recovery story.
             raise
+        except (RuntimeTransportError, OSError) as error:
+            # Expected under chaos (peer gone mid-reply, mesh closing):
+            # the requester's resend ladder / deadline owns recovery.
+            log.debug(
+                "node %d: transport error dispatching %s: %s",
+                self.node_id, type(message).__name__, error)
         except Exception as error:  # pragma: no cover - diagnostics
             # A handler bug on a worker thread must not kill the node
             # silently: every request path above replies to its caller
@@ -413,20 +772,36 @@ class NodeKernel:
             # install land before chasing again.
             time.sleep(0.005)
         self.stats["forwards"] += 1
-        self.mesh.send(target,
-                       type(message)(**{**message.__dict__,
-                                        "trace": trace}))
+        try:
+            self.mesh.send(target,
+                           type(message)(**{**message.__dict__,
+                                            "trace": trace}))
+        except (RuntimeTransportError, OSError) as error:
+            # The next hop is unreachable: tell the breaker and give the
+            # origin a typed verdict instead of letting it time out.
+            self._circuits.record_failure(target)
+            self._reply_error(
+                message.reply_to, message.request_id,
+                NodeFailure(
+                    f"node {self.node_id}: forwarding "
+                    f"{type(message).__name__} for {vaddr:#x} to node "
+                    f"{target} failed: {error}"))
+            return False
         return True
 
     def _send_hints(self, trace: Tuple[int, ...], vaddr: int) -> None:
         for node in trace:
             if node != self.node_id:
-                self.mesh.send(node, m.LocationHint(vaddr, self.node_id))
+                # Hints are an optimization; an unreachable chase-path
+                # node must not abort the invocation being answered.
+                self._send_quiet(node, m.LocationHint(vaddr, self.node_id))
 
     def _handle_invoke(self, message: m.InvokeMsg) -> None:
         obj = self._resident_object(message.vaddr)
         if obj is None:
             self._forward(message, message.vaddr)
+            return
+        if not self._begin_request(message):
             return
         if len(message.trace) > 1:
             # The request was forwarded at least once: refresh the stale
@@ -445,6 +820,8 @@ class NodeKernel:
             self._ship_replica(obj, message.reply_to)
 
     def _handle_create(self, message: m.CreateMsg) -> None:
+        if not self._begin_request(message):
+            return
         try:
             vaddr = self._create_local(message.cls, message.args,
                                        message.kwargs)
@@ -457,6 +834,8 @@ class NodeKernel:
         if self._resident_object(message.vaddr) is None:
             self._forward(message, message.vaddr)
             return
+        if not self._begin_request(message):
+            return
         if len(message.trace) > 1:
             self._send_hints(message.trace, message.vaddr)
         self._reply(message.reply_to, message.request_id, self.node_id)
@@ -467,6 +846,8 @@ class NodeKernel:
         obj = self._resident_object(message.vaddr)
         if obj is None:
             self._forward(message, message.vaddr)
+            return
+        if not self._begin_request(message):
             return
         if message.dest == self.node_id:
             self._reply(message.reply_to, message.request_id, None)
@@ -507,43 +888,58 @@ class NodeKernel:
             for member in group:
                 self._attachments.drop(member)
                 self._descriptors.set_forwarding(member, dest)
-        request_id, box = self._new_request()
-        self.mesh.send(dest, m.InstallMsg(request_id, self.node_id,
-                                          shipment, tuple(edges)))
-        self._await(box, request_id=request_id)
+        # The install is a hardened request of its own: re-sent on
+        # silence (the receiver's dedup makes a duplicate install a
+        # cached-reply replay), typed failure on a dead destination.
+        self._request(
+            lambda rid: m.InstallMsg(rid, self.node_id, shipment,
+                                     tuple(edges)),
+            self._fixed_router(dest))
         self.stats["moves_out"] += 1
 
     def _ship_replica(self, obj: AmberObject, dest: int,
                       wait_ack: bool = False) -> None:
-        request_id, box = self._new_request()
-        self.mesh.send(dest, m.InstallMsg(
-            request_id, self.node_id, {obj._amber_vaddr: obj}, (),
-            replica=True))
+        shipment = {obj._amber_vaddr: obj}
         if wait_ack:
-            self._await(box, request_id=request_id)
-        else:
-            self._pending.pop(request_id, None)
+            self._request(
+                lambda rid: m.InstallMsg(rid, self.node_id, shipment,
+                                         (), replica=True),
+                self._fixed_router(dest))
+            return
+        # Replica pushes are an optimization: fire-and-forget, and a
+        # loss just means the caller keeps invoking remotely.
+        self._send_quiet(dest, m.InstallMsg(
+            next(self._request_ids), self.node_id, shipment, (),
+            replica=True))
 
     def _handle_install(self, message: m.InstallMsg) -> None:
-        with self._state:
-            for vaddr, obj in message.objects.items():
-                if message.replica and self._descriptors.is_resident(vaddr):
-                    continue   # already have a replica
-                self._objects[vaddr] = obj
-                self._descriptors.set_resident(vaddr)
-            for source, target in message.attach_edges:
-                self._attachments.attach(source, target)
+        if not self._begin_request(message):
+            return
+        try:
+            with self._state:
+                for vaddr, obj in message.objects.items():
+                    if message.replica and \
+                            self._descriptors.is_resident(vaddr):
+                        continue   # already have a replica
+                    self._objects[vaddr] = obj
+                    self._descriptors.set_resident(vaddr)
+                for source, target in message.attach_edges:
+                    self._attachments.attach(source, target)
+        except BaseException as error:
+            self._reply_error(message.reply_to, message.request_id, error)
+            return
         if message.replica:
             self.stats["replicas_installed"] += len(message.objects)
         else:
             self.stats["moves_in"] += len(message.objects)
-        self.mesh.send(message.reply_to,
-                       m.ResultMsg(message.request_id, True, None))
+        self._reply(message.reply_to, message.request_id, None)
 
     def _handle_fetch_replica(self, message: m.FetchReplicaMsg) -> None:
         obj = self._resident_object(message.vaddr)
         if obj is None:
             self._forward(message, message.vaddr)
+            return
+        if not self._begin_request(message):
             return
         if not obj._amber_immutable:
             self._reply_error(message.reply_to, message.request_id,
@@ -558,12 +954,16 @@ class NodeKernel:
 
     def _handle_control(self, message: m.ControlMsg) -> None:
         if message.op == "stats":
+            if not self._begin_request(message):
+                return
             self._reply(message.reply_to, message.request_id,
                         self._stats_snapshot())
             return
         obj = self._resident_object(message.vaddr)
         if obj is None:
             self._forward(message, message.vaddr)
+            return
+        if not self._begin_request(message):
             return
         try:
             value = self._control_resident(obj, message.op, message.extra)

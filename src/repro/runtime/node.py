@@ -9,10 +9,18 @@ from repro.runtime.kernel import NodeKernel
 
 
 def node_main(node_id: int, coordinator_address: Tuple[str, int],
-              region_bytes: int) -> None:
-    """Run one node until the coordinator says shutdown."""
+              region_bytes: int, chaos=None) -> None:
+    """Run one node until the coordinator says shutdown.
+
+    ``chaos`` is an optional frozen :class:`~repro.faults.plan.FaultPlan`;
+    when given, the node's outbound frames pass through a seeded
+    :class:`~repro.faults.live.LiveFaultInjector` (docs/CHAOS.md).
+    """
     client = CoordinatorClient(coordinator_address, region_bytes)
-    kernel = NodeKernel(node_id, client)
+    kernel = NodeKernel(node_id, client, chaos=chaos)
+    # Mid-run directory rebroadcasts (a peer restarted at a new address)
+    # must reach the mesh, not just the startup queue.
+    client.on_directory = kernel.mesh.set_directory
     client.register(node_id, kernel.mesh.address)
     client.start_heartbeats(node_id)
     directory = client.wait_directory()

@@ -11,7 +11,14 @@ Sends are retried: a broken connection is torn down and redialed with
 exponential backoff plus jitter, up to :data:`SEND_RETRIES` attempts, so
 a peer that restarts (same address) is transparently reconnected to.
 Errors retrying cannot fix — an unknown peer, an oversized or
-unpicklable frame — propagate immediately.
+unpicklable frame — propagate immediately.  A mesh that is closing
+raises :class:`~repro.errors.RuntimeTransportError` instead of
+pretending the send was delivered (``dropped_on_close`` counts them).
+
+A mesh may carry a chaos layer
+(:class:`~repro.faults.live.LiveFaultInjector`): every outbound frame is
+then subject to seeded drop / duplicate / delay / connection-reset
+decisions *before* it reaches the wire — see ``docs/CHAOS.md``.
 """
 
 from __future__ import annotations
@@ -80,9 +87,12 @@ class Mesh:
     def __init__(self, node: int,
                  on_message: Callable[[int, Any], None],
                  host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0,
+                 chaos: Optional[Any] = None):
         self.node = node
         self._on_message = on_message
+        #: Optional LiveFaultInjector deciding per-frame fates.
+        self._chaos = chaos
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -106,7 +116,8 @@ class Mesh:
         self._rng = random.Random(node)
         self.stats: Dict[str, int] = {"sends": 0, "retries": 0,
                                       "reconnects": 0,
-                                      "handshake_rejects": 0}
+                                      "handshake_rejects": 0,
+                                      "dropped_on_close": 0}
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"mesh-accept-{node}",
             daemon=True)
@@ -115,8 +126,15 @@ class Mesh:
     # -- outbound ---------------------------------------------------------
 
     def set_directory(self, addresses: Dict[int, Tuple[str, int]]) -> None:
+        """Install (or refresh) peer addresses.  A peer whose address
+        changed — it died and a replacement re-registered elsewhere —
+        has its cached connection torn down so the next send redials."""
         with self._lock:
+            changed = [node for node, address in addresses.items()
+                       if self._peers.get(node) not in (None, address)]
             self._peers.update(addresses)
+        for node in changed:
+            self._invalidate(node)
 
     def send(self, node: int, message: Any) -> None:
         """Send one message to ``node``, dialing on first use and
@@ -125,13 +143,27 @@ class Mesh:
             # Local delivery without touching the network.
             self._on_message(self.node, message)
             return
+        copies = 1
+        if self._chaos is not None:
+            decision = self._chaos.on_send(node, message)
+            if decision.drop:
+                # Consumed by the chaos layer: to the caller this looks
+                # exactly like loss on the wire.
+                return
+            if decision.delay_s:
+                time.sleep(decision.delay_s)
+            if decision.reset:
+                self._chaos_reset(node)
+            if decision.duplicate:
+                copies = 2
         lock = self._peer_lock(node)
         attempt = 0
         while True:
             try:
                 with lock:
                     sock = self._connection_locked(node)
-                    send_frame(sock, message)
+                    for _ in range(copies):
+                        send_frame(sock, message)
                 with self._lock:
                     self.stats["sends"] += 1
                 return
@@ -143,7 +175,13 @@ class Mesh:
             except OSError as error:
                 self._invalidate(node)
                 if self._closing.is_set():
-                    return
+                    # Pretending this was delivered would let a caller
+                    # mistake a swallowed send for success; fail typed.
+                    with self._lock:
+                        self.stats["dropped_on_close"] += 1
+                    raise RuntimeTransportError(
+                        f"node {self.node}: send to node {node} aborted: "
+                        f"mesh is closing") from error
                 attempt += 1
                 if attempt > SEND_RETRIES:
                     raise RuntimeTransportError(
@@ -154,6 +192,21 @@ class Mesh:
                 backoff = min(BACKOFF_BASE_S * 2 ** (attempt - 1),
                               BACKOFF_CAP_S)
                 time.sleep(backoff * (1.0 + 0.25 * self._rng.random()))
+
+    def _chaos_reset(self, node: int) -> None:
+        """Poison the current connection to ``node`` with a truncated
+        frame, then tear it down: the receiver sees a broken frame and
+        drops the connection, the next send here redials."""
+        with self._lock:
+            sock = self._out.get(node)
+        if sock is None:
+            return
+        try:
+            # Header promising 64 bytes, followed by silence.
+            sock.sendall(_LENGTH.pack(64) + b"\x00" * 7)
+        except OSError:
+            pass
+        self._invalidate(node)
 
     def _peer_lock(self, node: int) -> threading.Lock:
         with self._lock:
@@ -217,6 +270,12 @@ class Mesh:
                                       daemon=True)
             with self._lock:
                 self._in.add(conn)
+                # Reconnect churn (peer restarts, chaos resets) retires
+                # readers continuously; prune the finished ones instead
+                # of accumulating every thread ever started until
+                # close().
+                self._readers = [thread for thread in self._readers
+                                 if thread.is_alive()]
                 self._readers.append(reader)
             reader.start()
 

@@ -1,0 +1,271 @@
+"""AmberChaos units: live fault decisions, at-most-once dedup, circuit
+breakers, the detached-request resender, and wait_reply timeout races.
+
+The live *scenario* suite (``repro chaos``) exercises these end to end;
+here each hardening layer is pinned down in isolation so a regression
+names the broken layer, not just a wedged workload.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import AmberError, NodeFailure
+from repro.faults.live import (
+    LiveFaultInjector,
+    decide_frame,
+    schedule_fingerprint,
+)
+from repro.faults.plan import FaultPlan, Partition
+from repro.recovery.config import PEER_TIMEOUT_ENV
+from repro.runtime import AmberObject, Cluster
+from repro.runtime.circuit import (
+    COOLDOWN_S,
+    FAILURE_THRESHOLD,
+    PeerCircuits,
+)
+from repro.runtime.kernel import _Dedup
+
+
+# ---------------------------------------------------------------------------
+# Live fault decisions: pure, deterministic, rate-respecting
+# ---------------------------------------------------------------------------
+
+
+class TestDecideFrame:
+    def test_pure_function_of_seed_src_dst_seq(self):
+        plan = FaultPlan(seed=7, drop_rate=0.2, dup_rate=0.2,
+                         delay_rate=0.2, delay_min_us=10.0,
+                         delay_max_us=100.0)
+        for seq in range(50):
+            a = decide_frame(plan, 0, 1, seq)
+            b = decide_frame(plan, 0, 1, seq)
+            assert a == b
+
+    def test_links_have_independent_streams(self):
+        plan = FaultPlan(seed=3, drop_rate=0.5)
+        fates_01 = [decide_frame(plan, 0, 1, s).drop for s in range(64)]
+        fates_10 = [decide_frame(plan, 1, 0, s).drop for s in range(64)]
+        assert fates_01 != fates_10
+
+    def test_zero_rates_are_clean(self):
+        plan = FaultPlan(seed=0)
+        for seq in range(64):
+            decision = decide_frame(plan, 0, 1, seq)
+            assert not (decision.drop or decision.duplicate
+                        or decision.reset or decision.delay_s)
+
+    def test_partition_window_drops(self):
+        plan = FaultPlan(seed=0, partitions=(
+            Partition(nodes=(0,), start_us=0.0, end_us=1_000.0),))
+        inside = decide_frame(plan, 0, 1, 0, now_us=500.0)
+        outside = decide_frame(plan, 0, 1, 0, now_us=2_000.0)
+        assert inside.drop and inside.partition
+        assert not outside.drop
+
+    def test_fingerprint_stable_and_seed_sensitive(self):
+        kw = dict(drop_rate=0.1, dup_rate=0.1)
+        assert schedule_fingerprint(FaultPlan(seed=1, **kw), 3) \
+            == schedule_fingerprint(FaultPlan(seed=1, **kw), 3)
+        assert schedule_fingerprint(FaultPlan(seed=1, **kw), 3) \
+            != schedule_fingerprint(FaultPlan(seed=2, **kw), 3)
+
+    def test_injector_counts_fates(self):
+        plan = FaultPlan(seed=5, drop_rate=0.3, dup_rate=0.3)
+        injector = LiveFaultInjector(plan, node=0)
+        for _ in range(200):
+            injector.on_send(1, object())
+        stats = injector.stats
+        assert stats["chaos_frames"] == 200
+        assert stats["chaos_dropped"] > 0
+        assert stats["chaos_duplicated"] > 0
+        assert stats["chaos_dropped"] + stats["chaos_duplicated"] < 200
+
+
+# ---------------------------------------------------------------------------
+# Receive-side at-most-once dedup
+# ---------------------------------------------------------------------------
+
+
+class TestDedup:
+    def test_claim_then_replay(self):
+        dedup = _Dedup()
+        assert dedup.claim(("a", 1)) == ("new", None)
+        assert dedup.claim(("a", 1)) == ("in_progress", None)
+        dedup.complete(("a", 1), "cached-reply")
+        assert dedup.claim(("a", 1)) == ("replay", "cached-reply")
+
+    def test_peek_does_not_claim(self):
+        dedup = _Dedup()
+        assert dedup.peek(("a", 1)) == ("absent", None)
+        assert dedup.claim(("a", 1)) == ("new", None)
+        assert dedup.peek(("a", 1)) == ("in_progress", None)
+        dedup.complete(("a", 1), 42)
+        assert dedup.peek(("a", 1)) == ("replay", 42)
+
+    def test_distinct_origins_do_not_collide(self):
+        dedup = _Dedup()
+        assert dedup.claim((1, 99)) == ("new", None)
+        assert dedup.claim((2, 99)) == ("new", None)
+
+    def test_bounded_fifo_eviction(self):
+        dedup = _Dedup(capacity=4)
+        for i in range(8):
+            dedup.claim(("n", i))
+        assert len(dedup) == 4
+        # The oldest entries were evicted: a duplicate of one now
+        # re-executes (documented capacity/at-most-once trade-off).
+        assert dedup.claim(("n", 0)) == ("new", None)
+
+
+# ---------------------------------------------------------------------------
+# Per-peer circuit breakers
+# ---------------------------------------------------------------------------
+
+
+class TestPeerCircuits:
+    def test_opens_after_threshold(self):
+        circuits = PeerCircuits()
+        for _ in range(FAILURE_THRESHOLD - 1):
+            circuits.record_failure(1)
+        assert circuits.check(1) == "closed"
+        circuits.record_failure(1)
+        assert circuits.check(1) == "open"
+        assert circuits.open_peers() == {1}
+
+    def test_success_closes(self):
+        circuits = PeerCircuits()
+        for _ in range(FAILURE_THRESHOLD):
+            circuits.record_failure(2)
+        assert circuits.check(2) == "open"
+        circuits.record_success(2)
+        assert circuits.check(2) == "closed"
+
+    def test_suspicion_forces_open_and_retraction_probes(self):
+        circuits = PeerCircuits()
+        assert circuits.check(3, suspected=True) == "open"
+        # Retraction (peer no longer suspected): an immediate probe is
+        # allowed rather than waiting out the cooldown.
+        verdict = circuits.check(3, suspected=False)
+        assert verdict == "probe"
+
+    def test_probe_after_cooldown(self):
+        circuits = PeerCircuits()
+        for _ in range(FAILURE_THRESHOLD):
+            circuits.record_failure(4)
+        assert circuits.check(4) == "open"
+        circuits._peers[4].opened_at -= COOLDOWN_S + 0.01
+        assert circuits.check(4) == "probe"
+        # While one probe is in flight others still fail fast.
+        assert circuits.check(4) == "open"
+        circuits.record_success(4)
+        assert circuits.check(4) == "closed"
+
+
+# ---------------------------------------------------------------------------
+# Live kernel: wait_reply races + the detached-request resender
+# ---------------------------------------------------------------------------
+
+
+class Napper(AmberObject):
+    def __init__(self):
+        self.naps = 0
+
+    def nap(self, seconds):
+        self.naps += 1
+        time.sleep(seconds)
+        return self.naps
+
+    def poke(self):
+        return "ok"
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with Cluster(nodes=2) as c:
+        yield c
+
+
+class TestWaitReplyRaces:
+    def test_timeout_leaves_no_pending_leak(self, cluster):
+        handle = cluster.create(Napper, node=1)
+        thread = cluster.fork(handle, "nap", 1.0)
+        with pytest.raises(TimeoutError):
+            thread.join(timeout=0.05)
+        assert thread._request_id not in cluster.kernel._pending
+        # The late ResultMsg lands on an unknown request id and is
+        # dropped; the kernel stays healthy for new traffic.
+        assert cluster.call(handle, "poke") == "ok"
+        time.sleep(1.2)
+        assert cluster.call(handle, "poke") == "ok"
+
+    def test_second_join_is_a_typed_error(self, cluster):
+        handle = cluster.create(Napper, node=1)
+        thread = cluster.fork(handle, "nap", 0.5)
+        with pytest.raises(TimeoutError):
+            thread.join(timeout=0.05)
+        with pytest.raises(AmberError):
+            thread.join(timeout=0.05)
+
+    def test_join_after_completion_returns_result(self, cluster):
+        handle = cluster.create(Napper, node=1)
+        thread = cluster.fork(handle, "nap", 0.0)
+        time.sleep(0.3)
+        assert isinstance(thread.join(timeout=5), int)
+
+
+class TestDetachedResender:
+    def test_dropped_fork_frame_recovers_without_join(self, cluster):
+        """A fork whose very first frame is lost must still execute —
+        the resender daemon retransmits it even if nobody joins."""
+        handle = cluster.create(Napper, node=1)
+        before = cluster.call(handle, "poke")
+        assert before == "ok"
+        kernel = cluster.kernel
+        mesh_send = kernel.mesh.send
+        dropped = []
+
+        def lossy_send(node, message, _orig=mesh_send):
+            if not dropped and type(message).__name__ == "InvokeMsg":
+                dropped.append(message)
+                return          # swallowed: never reaches the wire
+            return _orig(node, message)
+
+        kernel.mesh.send = lossy_send
+        try:
+            thread = cluster.fork(handle, "nap", 0.0)
+        finally:
+            kernel.mesh.send = mesh_send
+        assert dropped, "the fork frame should have been dropped"
+        # No join: only the resender daemon can recover this.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if not kernel._detached:
+                break
+            time.sleep(0.05)
+        assert isinstance(thread.join(timeout=10), int)
+        assert kernel.stats["resends"] >= 1
+
+    def test_detached_entry_cleared_after_reply(self, cluster):
+        handle = cluster.create(Napper, node=1)
+        thread = cluster.fork(handle, "nap", 0.0)
+        thread.join(timeout=10)
+        assert thread._request_id not in cluster.kernel._detached
+
+
+class TestTypedFailureFast:
+    def test_killed_node_gives_typed_bounded_failure(self, monkeypatch):
+        monkeypatch.setenv(PEER_TIMEOUT_ENV, "2")
+        with Cluster(nodes=2) as cluster:
+            handle = cluster.create(Napper, node=1)
+            assert cluster.call(handle, "poke") == "ok"
+            cluster.kill_node(1)
+            t0 = time.monotonic()
+            with pytest.raises((NodeFailure, TimeoutError)):
+                cluster.call(handle, "poke")
+            assert time.monotonic() - t0 < 9.0   # reply deadline + slack
+            # Breaker open now: the next failure is near-instant.
+            t1 = time.monotonic()
+            with pytest.raises((NodeFailure, TimeoutError)):
+                cluster.call(handle, "poke")
+            assert time.monotonic() - t1 < 1.0

@@ -582,7 +582,7 @@ class TestLiveDetection:
         from repro.runtime.cluster import Cluster
 
         with Cluster(nodes=3) as cluster:
-            victim = cluster._processes[0]  # node 1
+            victim = cluster._processes[1]  # node 1
             victim.terminate()
             victim.join(timeout=5)
             assert cluster._client.peer_failure_event.wait(timeout=5.0)
