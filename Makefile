@@ -1,7 +1,7 @@
 # Convenience targets for the Amber reproduction.
 
 .PHONY: install test bench perf artifacts examples lint analyze \
-	amber-check check chaos clean
+	amber-check check chaos flow clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,6 +18,12 @@ analyze:
 amber-check:
 	PYTHONPATH=src python -m repro check --fast
 
+# AmberFlow: static object-flow analysis + placement-hint
+# cross-validation against simulator runs (docs/ANALYSIS.md).
+flow:
+	PYTHONPATH=src python -m repro flow --fast \
+		--expect benchmarks/baseline/FLOW_expected.json
+
 # AmberChaos: seeded live-runtime chaos scenario suite (docs/CHAOS.md).
 chaos:
 	for seed in 0 1 2; do \
@@ -25,7 +31,7 @@ chaos:
 	done
 
 # The full static + dynamic + model-checking gauntlet.
-check: lint analyze amber-check
+check: lint flow analyze amber-check
 
 # The paper-figure benchmark suite (simulated results asserted against
 # the paper's shape; pytest-benchmark records regeneration cost).

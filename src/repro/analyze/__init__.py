@@ -18,6 +18,12 @@ Three cooperating tools (see ``docs/ANALYSIS.md``):
   reduction over recorded scheduling choices), running the sanitizer
   in each and reporting schedule-dependent races, deadlocks, and
   terminal-state divergences with minimal replayable choice traces.
+* :mod:`repro.analyze.flow` — AmberFlow (``repro flow``): a
+  whole-program object-flow and locality analysis that derives a
+  deterministic :class:`PlacementHints` artifact for
+  :class:`repro.placement.policies.HintedPlacement`, emits the
+  AMB201-AMB205 locality diagnostics, and cross-validates its
+  predictions against simulator runs of the bundled apps.
 
 The subsystem is enabled per run (``AmberProgram(..., sanitize=True)``,
 ``--sanitize`` on the CLI, or :func:`repro.analyze.runtime.sanitize_runs`)
@@ -54,6 +60,18 @@ _LAZY = {
                             "run_check_scenarios"),
     "CHECK_FIXTURES": ("repro.analyze.checkscenario",
                        "CHECK_FIXTURES"),
+    "FLOW_RULES": ("repro.analyze.flow", "FLOW_RULES"),
+    "flow_diagnostics": ("repro.analyze.flow", "flow_diagnostics"),
+    "FlowModel": ("repro.analyze.flow", "FlowModel"),
+    "scan_paths": ("repro.analyze.flow", "scan_paths"),
+    "scan_sources": ("repro.analyze.flow", "scan_sources"),
+    "Hint": ("repro.analyze.flow", "Hint"),
+    "PlacementHints": ("repro.analyze.flow", "PlacementHints"),
+    "derive_hints": ("repro.analyze.flow", "derive_hints"),
+    "load_hints": ("repro.analyze.flow", "load_hints"),
+    "FlowReport": ("repro.analyze.flow", "FlowReport"),
+    "run_flow_scenarios": ("repro.analyze.flow",
+                           "run_flow_scenarios"),
 }
 
 __all__ = sorted(_LAZY)

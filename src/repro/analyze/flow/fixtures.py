@@ -1,0 +1,333 @@
+"""Source-string fixtures for the AmberFlow diagnostics.
+
+Unlike :mod:`repro.analyze.fixtures` (runnable sanitizer workloads),
+these are *analyzed, never executed*: each is a small Amber program
+source with a known static verdict.  For every rule there are three
+variants: one that must fire, the same program with a
+``# repro: noqa[RULE]`` suppression (must come back clean), and a
+genuinely clean twin that fixes the hazard instead of silencing it.
+
+``FLOW_FIXTURES`` maps fixture name -> source; ``EXPECTED_RULES`` maps
+fixture name -> the rule set that must fire on it (empty for the noqa
+and clean variants).  The ``repro flow`` diagnostics-catalog scenario
+and the unit tests both consume these tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+
+def _noqa(source: str, needle: str, rule: str) -> str:
+    """Append a noqa comment to the first line containing ``needle``."""
+    out = []
+    done = False
+    for line in source.splitlines():
+        if not done and needle in line:
+            line = f"{line}  # repro: noqa[{rule}]"
+            done = True
+        out.append(line)
+    assert done, f"needle {needle!r} not found"
+    return "\n".join(out) + "\n"
+
+
+# -- AMB201: cross-boundary Invoke inside a loop ---------------------------
+
+AMB201_HOT_LOOP = '''\
+class Counter:
+    def __init__(self) -> None:
+        self.total = 0
+
+    def bump(self, ctx):
+        self.total += 1
+        yield Compute(1.0)
+
+
+class Driver:
+    def __init__(self, counter: Counter) -> None:
+        self.counter = counter
+
+    def run(self, ctx):
+        for _ in range(64):
+            yield Invoke(self.counter, "bump")
+
+
+def main(ctx):
+    counter = yield New(Counter)
+    driver = yield New(Driver, counter, on_node=1)
+    t = yield Fork(driver, "run")
+    yield Join(t)
+'''
+
+AMB201_CLEAN = '''\
+class Table:
+    def __init__(self, rows) -> None:
+        self.rows = rows
+
+    def lookup(self, ctx, i):
+        yield Compute(0.5)
+        return self.rows[i]
+
+
+class Reader:
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def run(self, ctx):
+        acc = 0
+        for i in range(64):
+            acc += yield Invoke(self.table, "lookup", i)
+        return acc
+
+
+def main(ctx):
+    table = yield New(Table, (1, 2, 3))
+    yield SetImmutable(table)
+    reader = yield New(Reader, table, on_node=1)
+    t = yield Fork(reader, "run")
+    yield Join(t)
+'''
+
+# -- AMB202: write to a statically-replicated class ------------------------
+
+AMB202_REPLICA_WRITE = '''\
+class Lookup:
+    def __init__(self) -> None:
+        self.values = {"a": 1}
+
+    def get(self, ctx, key):
+        yield Compute(0.1)
+        return self.values[key]
+
+    def put(self, ctx, key, val):
+        self.values[key] = val
+        yield Compute(0.1)
+
+
+def main(ctx):
+    cfg = yield New(Lookup)
+    yield SetImmutable(cfg)
+    got = yield Invoke(cfg, "get", "a")
+    return got
+'''
+
+AMB202_CLEAN = '''\
+class Lookup:
+    def __init__(self) -> None:
+        self.values = {"a": 1}
+
+    def get(self, ctx, key):
+        yield Compute(0.1)
+        return self.values[key]
+
+
+def main(ctx):
+    cfg = yield New(Lookup)
+    yield SetImmutable(cfg)
+    got = yield Invoke(cfg, "get", "a")
+    return got
+'''
+
+# -- AMB203: lock held across a cross-boundary Invoke ----------------------
+
+AMB203_LOCKED_INVOKE = '''\
+class Store:
+    def __init__(self) -> None:
+        self.items = []
+
+    def put(self, ctx, item):
+        self.items.append(item)
+        yield Compute(0.2)
+
+
+def main(ctx):
+    lock = yield New(SpinLock)
+    store = yield New(Store, on_node=1)
+    yield Invoke(lock, "acquire")
+    yield Invoke(store, "put", 1)
+    yield Invoke(lock, "release")
+'''
+
+AMB203_CLEAN = '''\
+class Store:
+    def __init__(self) -> None:
+        self.items = []
+
+    def put(self, ctx, item):
+        self.items.append(item)
+        yield Compute(0.2)
+
+
+def main(ctx):
+    lock = yield New(SpinLock)
+    store = yield New(Store, on_node=1)
+    yield Invoke(store, "put", 1)
+    yield Invoke(lock, "acquire")
+    yield Compute(1.0)
+    yield Invoke(lock, "release")
+'''
+
+# -- AMB204: MoveTo leaves the reference graph behind ----------------------
+
+AMB204_STRANDED_MOVE = '''\
+class Ledger:
+    def __init__(self) -> None:
+        self.entries = []
+
+    def add(self, ctx, x):
+        self.entries.append(x)
+        yield Compute(0.1)
+
+
+class Agent:
+    def __init__(self, ledger: Ledger) -> None:
+        self.ledger = ledger
+
+    def run(self, ctx):
+        yield Invoke(self.ledger, "add", 1)
+
+
+def main(ctx):
+    ledger = yield New(Ledger)
+    agent = yield New(Agent, ledger)
+    yield MoveTo(agent, 1)
+    t = yield Fork(agent, "run")
+    yield Join(t)
+'''
+
+AMB204_CLEAN = '''\
+class Ledger:
+    def __init__(self) -> None:
+        self.entries = []
+
+    def add(self, ctx, x):
+        self.entries.append(x)
+        yield Compute(0.1)
+
+
+class Agent:
+    def __init__(self, ledger: Ledger) -> None:
+        self.ledger = ledger
+
+    def run(self, ctx):
+        yield Invoke(self.ledger, "add", 1)
+
+
+def main(ctx):
+    ledger = yield New(Ledger)
+    agent = yield New(Agent, ledger)
+    yield Attach(ledger, agent)
+    yield MoveTo(agent, 1)
+    t = yield Fork(agent, "run")
+    yield Join(t)
+'''
+
+# -- AMB205: mutable value escaping into forked threads --------------------
+
+AMB205_SHARED_LIST = '''\
+class Worker:
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def run(self, ctx, shared):
+        shared.append(self.n)
+        yield Compute(1.0)
+
+
+def main(ctx):
+    shared = []
+    a = yield New(Worker, 1)
+    b = yield New(Worker, 2)
+    t1 = yield Fork(a, "run", shared)
+    t2 = yield Fork(b, "run", shared)
+    yield Join(t1)
+    yield Join(t2)
+    return shared
+'''
+
+AMB205_MUTATE_AFTER = '''\
+class Worker:
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def run(self, ctx, shared):
+        shared.append(self.n)
+        yield Compute(1.0)
+
+
+def main(ctx):
+    shared = []
+    a = yield New(Worker, 1)
+    t1 = yield Fork(a, "run", shared)
+    shared.append(0)
+    yield Join(t1)
+    return shared
+'''
+
+AMB205_CLEAN = '''\
+class Worker:
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def run(self, ctx, base):
+        yield Compute(1.0)
+        return base + self.n
+
+
+def main(ctx):
+    a = yield New(Worker, 1)
+    b = yield New(Worker, 2)
+    t1 = yield Fork(a, "run", 10)
+    t2 = yield Fork(b, "run", 20)
+    first = yield Join(t1)
+    second = yield Join(t2)
+    return (first, second)
+'''
+
+
+FLOW_FIXTURES: Dict[str, str] = {
+    "amb201": AMB201_HOT_LOOP,
+    "amb201-noqa": _noqa(AMB201_HOT_LOOP,
+                         'Invoke(self.counter, "bump")', "AMB201"),
+    "amb201-clean": AMB201_CLEAN,
+    "amb202": AMB202_REPLICA_WRITE,
+    "amb202-noqa": _noqa(AMB202_REPLICA_WRITE,
+                         "self.values[key] = val", "AMB202"),
+    "amb202-clean": AMB202_CLEAN,
+    "amb203": AMB203_LOCKED_INVOKE,
+    "amb203-noqa": _noqa(AMB203_LOCKED_INVOKE,
+                         'Invoke(store, "put", 1)', "AMB203"),
+    "amb203-clean": AMB203_CLEAN,
+    "amb204": AMB204_STRANDED_MOVE,
+    "amb204-noqa": _noqa(AMB204_STRANDED_MOVE,
+                         "MoveTo(agent, 1)", "AMB204"),
+    "amb204-clean": AMB204_CLEAN,
+    "amb205": AMB205_SHARED_LIST,
+    "amb205-noqa": _noqa(AMB205_SHARED_LIST,
+                         't2 = yield Fork(b, "run", shared)', "AMB205"),
+    "amb205-mutate": AMB205_MUTATE_AFTER,
+    "amb205-mutate-noqa": _noqa(AMB205_MUTATE_AFTER,
+                                "shared.append(0)", "AMB205"),
+    "amb205-clean": AMB205_CLEAN,
+}
+
+#: fixture name -> rules that must fire (exactly; empty = clean).
+EXPECTED_RULES: Dict[str, FrozenSet[str]] = {
+    "amb201": frozenset({"AMB201"}),
+    "amb201-noqa": frozenset(),
+    "amb201-clean": frozenset(),
+    "amb202": frozenset({"AMB202"}),
+    "amb202-noqa": frozenset(),
+    "amb202-clean": frozenset(),
+    "amb203": frozenset({"AMB203"}),
+    "amb203-noqa": frozenset(),
+    "amb203-clean": frozenset(),
+    "amb204": frozenset({"AMB204"}),
+    "amb204-noqa": frozenset(),
+    "amb204-clean": frozenset(),
+    "amb205": frozenset({"AMB205"}),
+    "amb205-noqa": frozenset(),
+    "amb205-mutate": frozenset({"AMB205"}),
+    "amb205-mutate-noqa": frozenset(),
+    "amb205-clean": frozenset(),
+}

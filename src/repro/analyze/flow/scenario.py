@@ -1,0 +1,493 @@
+"""The ``repro flow`` cross-validation suite.
+
+Static analysis that nobody checks against reality drifts into
+fiction.  This suite closes the loop in both directions:
+
+* **static self-consistency** — the analysis is deterministic
+  (byte-identical hints artifact and findings fingerprint across
+  reruns) and the AMB201-AMB205 catalog fires exactly as specified on
+  the bundled fixtures (including noqa suppression);
+* **expectation gate** — the finding set over the bundled apps and
+  examples matches a committed expectation file, so a hint or
+  diagnostic change shows up in review as a diff, not as silence;
+* **prediction scoring** — the bundled apps run in the simulator under
+  the knowledge-free static default (``SpreadPlacement``) and under
+  ``HintedPlacement`` driven by the derived artifact, and every
+  checkable hint is confirmed or refuted against the dynamic record
+  (object locations, the kernel's access log, invocation metrics);
+  per-hint verdicts and overall precision are reported;
+* **ablation** — hint-driven placement must *reduce the remote
+  invocation share* (``invoke_remote_us`` count fraction) versus the
+  static default on the apps where locality is on the table (SOR's
+  neighbor chatter, matmul's shared B), with the numbers printed.
+
+Custom ``--paths`` runs keep only the static scenarios: the dynamic
+ones are meaningful only for the bundled apps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.flow.diagnostics import flow_diagnostics
+from repro.analyze.flow.fixtures import EXPECTED_RULES, FLOW_FIXTURES
+from repro.analyze.flow.hints import PlacementHints, derive_hints
+from repro.analyze.flow.model import FlowModel, scan_sources
+from repro.analyze.lint import LintFinding
+from repro.placement.policies import (
+    HintedPlacement,
+    PlacementPolicy,
+    SpreadPlacement,
+)
+
+#: What ``repro flow`` analyzes when no paths are given.
+DEFAULT_PATHS = ("src/repro/apps", "examples")
+
+#: Schema tag of the committed findings expectation file.
+EXPECT_SCHEMA = "amberflow-findings/1"
+
+#: Minimum fraction of checkable hints that must be dynamically
+#: confirmed.
+PRECISION_FLOOR = 0.75
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlowOutcome:
+    """One scenario's verdict."""
+
+    name: str
+    ok: bool
+    details: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "ok": self.ok,
+                "details": list(self.details)}
+
+    def render(self) -> str:
+        mark = "ok " if self.ok else "FAIL"
+        lines = [f"[{mark}] {self.name}"]
+        lines.extend(f"       {line}" for line in self.details)
+        return "\n".join(lines)
+
+
+@dataclass
+class FlowReport:
+    """Everything ``repro flow`` produced in one run."""
+
+    fast: bool
+    paths: List[str]
+    outcomes: List[FlowOutcome]
+    hints: PlacementHints
+    findings: List[LintFinding]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def findings_payload(self) -> Dict[str, Any]:
+        return findings_payload(self.findings)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fast": self.fast,
+            "paths": list(self.paths),
+            "ok": self.ok,
+            "outcomes": [o.as_dict() for o in self.outcomes],
+            "hints": self.hints.as_dict(),
+            "findings": self.findings_payload(),
+            "findings_fingerprint": findings_fingerprint(self.findings),
+        }
+
+    def render(self) -> str:
+        mode = "fast" if self.fast else "full"
+        lines = [f"AmberFlow cross-validation ({mode}) over "
+                 f"{', '.join(self.paths)}",
+                 f"  hints: {len(self.hints.hints)} "
+                 f"(fingerprint {self.hints.fingerprint[:16]})",
+                 f"  findings: {len(self.findings)} "
+                 f"(fingerprint "
+                 f"{findings_fingerprint(self.findings)[:16]})",
+                 ""]
+        lines.extend(outcome.render() for outcome in self.outcomes)
+        verdict = "PASS" if self.ok else "FAIL"
+        passed = sum(1 for o in self.outcomes if o.ok)
+        lines.append("")
+        lines.append(f"{verdict}: {passed}/{len(self.outcomes)} "
+                     f"scenarios")
+        return "\n".join(lines)
+
+
+def findings_payload(findings: Sequence[LintFinding]) -> Dict[str, Any]:
+    """The committed-expectation-file shape of a finding set."""
+    return {
+        "schema": EXPECT_SCHEMA,
+        "findings": [
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+
+
+def findings_fingerprint(findings: Sequence[LintFinding]) -> str:
+    blob = json.dumps(
+        [[f.path, f.line, f.rule, f.message] for f in findings],
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Source collection
+# ---------------------------------------------------------------------------
+
+
+def _norm_path(path: Path) -> str:
+    """Repo-relative forward-slash path when possible (the expectation
+    file must not depend on where the checkout lives)."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_sources(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    sources: List[Tuple[str, str]] = []
+    for entry in paths:
+        root = Path(entry)
+        files = ([root] if root.is_file()
+                 else sorted(root.rglob("*.py")))
+        for file in files:
+            sources.append((_norm_path(file), file.read_text()))
+    return sources
+
+
+# ---------------------------------------------------------------------------
+# Static scenarios
+# ---------------------------------------------------------------------------
+
+
+def _determinism(sources: List[Tuple[str, str]],
+                 hints: PlacementHints,
+                 findings: List[LintFinding]) -> FlowOutcome:
+    """Scan everything a second time: the artifacts must be
+    byte-identical."""
+    model2 = scan_sources(sources)
+    hints2 = derive_hints(model2)
+    findings2 = flow_diagnostics(model2, dict(sources))
+    same_hints = hints.to_json() == hints2.to_json()
+    fp1 = findings_fingerprint(findings)
+    fp2 = findings_fingerprint(findings2)
+    details = [
+        f"hints json: {'identical' if same_hints else 'DIFFERS'} "
+        f"({hints.fingerprint[:16]})",
+        f"findings fingerprint: "
+        f"{'identical' if fp1 == fp2 else 'DIFFERS'} ({fp1[:16]})",
+    ]
+    return FlowOutcome("deterministic-analysis",
+                       same_hints and fp1 == fp2, details)
+
+
+def _fixture_catalog() -> FlowOutcome:
+    """Every AMB2xx rule fires on its fixture, its noqa twin is
+    silent, and the genuinely-fixed twin is clean."""
+    details: List[str] = []
+    ok = True
+    for name in sorted(FLOW_FIXTURES):
+        source = FLOW_FIXTURES[name]
+        path = f"<fixture:{name}>"
+        model = scan_sources([(path, source)])
+        findings = flow_diagnostics(model, {path: source})
+        got = {f.rule for f in findings}
+        want = set(EXPECTED_RULES[name])
+        good = got == want
+        ok = ok and good
+        show_got = ",".join(sorted(got)) or "-"
+        show_want = ",".join(sorted(want)) or "-"
+        suffix = "" if good else f"  MISMATCH (want {show_want})"
+        details.append(f"{name}: {show_got}{suffix}")
+    return FlowOutcome("diagnostics-catalog", ok, details)
+
+
+def _hint_content(hints: PlacementHints) -> FlowOutcome:
+    """The derived artifact must contain the hints the bundled apps
+    were built to produce."""
+    checks = [
+        ("MatrixB replicate", "MatrixB" in hints.replicate_classes()),
+        ("SorSection spread/block",
+         hints.spread_strategy("SorSection") == "block"),
+        ("QueensWorker spread",
+         hints.kind_of("QueensWorker") == "spread"),
+        ("RowBlockWorker spread",
+         hints.kind_of("RowBlockWorker") == "spread"),
+        ("WorkPool hub", hints.kind_of("WorkPool") == "hub"),
+        ("SorMaster hub", hints.kind_of("SorMaster") == "hub"),
+    ]
+    details = [f"{name}: {'yes' if good else 'MISSING'}"
+               for name, good in checks]
+    return FlowOutcome("hints-content",
+                       all(good for _, good in checks), details)
+
+
+def _expectation(findings: List[LintFinding],
+                 expect_path: str) -> FlowOutcome:
+    """The finding set must match the committed expectation file."""
+    try:
+        raw = json.loads(Path(expect_path).read_text())
+    except (OSError, ValueError) as exc:
+        return FlowOutcome("expected-findings", False,
+                           [f"cannot read {expect_path}: {exc}",
+                            "regenerate with: repro flow "
+                            f"--write-expect {expect_path}"])
+    if not isinstance(raw, dict) or raw.get("schema") != EXPECT_SCHEMA:
+        return FlowOutcome("expected-findings", False,
+                           [f"{expect_path}: wrong schema "
+                            f"(want {EXPECT_SCHEMA})"])
+    want = [(str(f.get("path")), int(f.get("line", 0)),
+             str(f.get("rule")), str(f.get("message")))
+            for f in raw.get("findings", [])]
+    got = [(f.path, f.line, f.rule, f.message) for f in findings]
+    missing = [w for w in want if w not in got]
+    unexpected = [g for g in got if g not in want]
+    details = [f"expected {len(want)}, got {len(got)}"]
+    for label, items in (("missing", missing),
+                         ("unexpected", unexpected)):
+        for path, line, rule, _ in items[:5]:
+            details.append(f"{label}: {path}:{line} {rule}")
+        if len(items) > 5:
+            details.append(f"{label}: ... {len(items) - 5} more")
+    ok = not missing and not unexpected
+    if not ok:
+        details.append(f"regenerate with: repro flow --write-expect "
+                       f"{expect_path}")
+    return FlowOutcome("expected-findings", ok, details)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic scenarios: run the apps, score the hints
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ClassDyn:
+    """Per-class dynamic record of one run."""
+
+    instances: int = 0
+    locations: Set[int] = field(default_factory=set)
+    origins: Set[int] = field(default_factory=set)
+    total: int = 0
+    foreign: int = 0
+
+
+def _dynamics(cluster: Any) -> Dict[str, _ClassDyn]:
+    out: Dict[str, _ClassDyn] = {}
+    for vaddr, obj in cluster.objects.items():
+        cls = type(obj).__name__
+        dyn = out.setdefault(cls, _ClassDyn())
+        dyn.instances += 1
+        loc = getattr(obj, "_location", None)
+        if loc is not None:
+            dyn.locations.add(loc)
+        for origin, count in cluster.access_log.get(vaddr,
+                                                    {}).items():
+            dyn.origins.add(origin)
+            dyn.total += count
+            if loc is not None and origin != loc:
+                dyn.foreign += count
+    return out
+
+
+def _merge_dynamics(parts: Sequence[Dict[str, _ClassDyn]]
+                    ) -> Dict[str, _ClassDyn]:
+    merged: Dict[str, _ClassDyn] = {}
+    for part in parts:
+        for cls, dyn in part.items():
+            into = merged.setdefault(cls, _ClassDyn())
+            into.instances += dyn.instances
+            into.locations |= dyn.locations
+            into.origins |= dyn.origins
+            into.total += dyn.total
+            into.foreign += dyn.foreign
+    return merged
+
+
+def _remote_share(cluster: Any) -> Tuple[float, int, int]:
+    remote = cluster.metrics.histograms.get("invoke_remote_us")
+    local = cluster.metrics.histograms.get("invoke_local_us")
+    r = remote.count if remote is not None else 0
+    lo = local.count if local is not None else 0
+    total = r + lo
+    return ((r / total) if total else 0.0, r, lo)
+
+
+@dataclass
+class _AppRun:
+    """One app executed under both policies."""
+
+    name: str
+    nodes: int
+    static_cluster: Any
+    hinted_cluster: Any
+
+
+def _run_apps(hints: PlacementHints, fast: bool) -> List[_AppRun]:
+    from repro.apps.matmul import run_matmul
+    from repro.apps.queens import run_amber_queens
+    from repro.apps.sor.amber_sor import run_amber_sor
+    from repro.apps.sor.grid import SorProblem
+
+    if fast:
+        problem = SorProblem(rows=24, cols=64, iterations=3)
+        mm_size, queens_n = 24, 6
+    else:
+        problem = SorProblem(rows=48, cols=96, iterations=4)
+        mm_size, queens_n = 48, 8
+
+    def policies(nodes: int) -> Tuple[PlacementPolicy,
+                                      PlacementPolicy]:
+        static = SpreadPlacement(nodes)
+        hinted = HintedPlacement(hints, nodes,
+                                 fallback=SpreadPlacement(nodes))
+        return static, hinted
+
+    runs: List[_AppRun] = []
+
+    nodes = 2
+    static, hinted = policies(nodes)
+    runs.append(_AppRun(
+        "sor", nodes,
+        run_amber_sor(problem, nodes=nodes, cpus_per_node=2,
+                      placement=static).cluster,
+        run_amber_sor(problem, nodes=nodes, cpus_per_node=2,
+                      placement=hinted).cluster))
+
+    nodes = 4
+    static, hinted = policies(nodes)
+    runs.append(_AppRun(
+        "matmul", nodes,
+        run_matmul(m=mm_size, k=mm_size, n=mm_size, nodes=nodes,
+                   cpus_per_node=2, placement=static).cluster,
+        run_matmul(m=mm_size, k=mm_size, n=mm_size, nodes=nodes,
+                   cpus_per_node=2, placement=hinted).cluster))
+
+    nodes = 2
+    static, hinted = policies(nodes)
+    runs.append(_AppRun(
+        "queens", nodes,
+        run_amber_queens(n=queens_n, nodes=nodes, cpus_per_node=2,
+                         placement=static).cluster,
+        run_amber_queens(n=queens_n, nodes=nodes, cpus_per_node=2,
+                         placement=hinted).cluster))
+
+    return runs
+
+
+def _precision(hints: PlacementHints,
+               runs: List[_AppRun]) -> FlowOutcome:
+    """Score every checkable hint against the dynamic record."""
+    static_dyn = _merge_dynamics([_dynamics(r.static_cluster)
+                                  for r in runs])
+    hinted_dyn = _merge_dynamics([_dynamics(r.hinted_cluster)
+                                  for r in runs])
+    details: List[str] = []
+    checked = confirmed = 0
+    for hint in hints.hints:
+        sdyn = static_dyn.get(hint.cls)
+        hdyn = hinted_dyn.get(hint.cls)
+        if sdyn is None or hdyn is None:
+            continue    # class not exercised by the bundled apps
+        verdict: Optional[bool] = None
+        evidence = ""
+        if hint.kind == "replicate":
+            # Read from several nodes while unreplicated: replication
+            # would have made those reads local.
+            verdict = len(sdyn.origins) >= 2
+            evidence = (f"static run reads from "
+                        f"{len(sdyn.origins)} node(s)")
+        elif hint.kind == "spread":
+            verdict = len(hdyn.locations) >= 2
+            evidence = (f"hinted run places {hdyn.instances} "
+                        f"instance(s) on {len(hdyn.locations)} "
+                        f"node(s)")
+        elif hint.kind == "colocate":
+            verdict = hdyn.foreign < sdyn.foreign
+            evidence = (f"foreign accesses {sdyn.foreign} "
+                        f"(round-robin) -> {hdyn.foreign} (block)")
+        elif hint.kind == "hub":
+            verdict = len(sdyn.origins) >= 2
+            evidence = (f"invoked from {len(sdyn.origins)} node(s) "
+                        f"while staying put")
+        if verdict is None:
+            continue    # move hints have no bundled-app instance
+        checked += 1
+        confirmed += 1 if verdict else 0
+        mark = "confirmed" if verdict else "REFUTED"
+        details.append(f"{hint.kind} {hint.cls}: {mark} "
+                       f"({evidence})")
+    precision = (confirmed / checked) if checked else 0.0
+    details.append(f"precision: {confirmed}/{checked} "
+                   f"= {precision:.2f} (floor {PRECISION_FLOOR})")
+    ok = checked >= 4 and precision >= PRECISION_FLOOR
+    return FlowOutcome("hint-precision", ok, details)
+
+
+def _ablation(run: _AppRun) -> FlowOutcome:
+    """Hint-driven placement must reduce the remote-invocation share
+    versus the static default."""
+    s_share, s_remote, s_local = _remote_share(run.static_cluster)
+    h_share, h_remote, h_local = _remote_share(run.hinted_cluster)
+    details = [
+        f"static default: {s_remote} remote / {s_local} local "
+        f"invocations (remote share {s_share:.3f})",
+        f"hint-driven:    {h_remote} remote / {h_local} local "
+        f"invocations (remote share {h_share:.3f})",
+        f"reduction: {s_share - h_share:+.3f}",
+    ]
+    return FlowOutcome(f"ablation-{run.name}", h_share < s_share,
+                       details)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_flow_scenarios(fast: bool = True,
+                       paths: Optional[Sequence[str]] = None,
+                       expect: Optional[str] = None) -> FlowReport:
+    """Run the suite.  ``paths`` overrides what gets analyzed (which
+    also skips the app-specific dynamic scenarios); ``expect`` enables
+    the expectation gate against a committed findings file."""
+    bundled = paths is None
+    scan = (list(paths) if paths is not None
+            else [p for p in DEFAULT_PATHS if Path(p).exists()])
+    sources = collect_sources(scan)
+    model: FlowModel = scan_sources(sources)
+    hints = derive_hints(model)
+    findings = flow_diagnostics(model, dict(sources))
+
+    outcomes = [
+        _determinism(sources, hints, findings),
+        _fixture_catalog(),
+    ]
+    if expect is not None:
+        outcomes.append(_expectation(findings, expect))
+    if bundled:
+        outcomes.append(_hint_content(hints))
+        runs = _run_apps(hints, fast)
+        outcomes.append(_precision(hints, runs))
+        for run in runs:
+            if run.name in ("sor", "matmul"):
+                outcomes.append(_ablation(run))
+
+    return FlowReport(fast=fast, paths=scan, outcomes=outcomes,
+                      hints=hints, findings=findings)

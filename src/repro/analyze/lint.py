@@ -1,6 +1,6 @@
 """Static AST lint for Amber concurrency idioms (``repro lint``).
 
-Seven rules, covering the mistakes the simulator's sanitizer only
+Eight rules, covering the mistakes the simulator's sanitizer only
 catches once a run trips over them:
 
 ==========  ============================================================
@@ -12,7 +12,13 @@ AMB105      blocking operation while holding a ``SpinLock``
 AMB106      ``Barrier`` participant count can never match the number of
             threads forked in the same function
 AMB107      the same thread handle joined twice
+AMB108      ``Invoke``/``FastInvoke`` made while holding a ``SpinLock``
+            (the spin burns a CPU for the whole remote round-trip)
 ==========  ============================================================
+
+Whole-program locality diagnostics (AMB201-AMB205) live in
+:mod:`repro.analyze.flow.diagnostics` and share this module's finding
+type and noqa machinery.
 
 Both the simulator idiom (``yield Invoke(lock, "acquire")``) and the
 live-runtime idiom (``lock.acquire()``) are recognized.  Suppress a
@@ -41,6 +47,7 @@ RULES: Dict[str, str] = {
     "AMB105": "blocking operation while holding a SpinLock",
     "AMB106": "Barrier parties never matches forked threads in scope",
     "AMB107": "thread handle joined twice",
+    "AMB108": "Invoke while holding a SpinLock",
 }
 
 #: acquire-like method -> its release-like partner.
@@ -85,6 +92,9 @@ class _SyncCall:
     method: str
     line: int
     blocking: bool
+    #: True for a generic ``Invoke``/``FastInvoke`` (a potentially
+    #: remote data invocation, not a recognized sync operation).
+    remote: bool = False
 
 
 _CTX_RE = re.compile(r",?\s*ctx=(Load|Store|Del)\(\)")
@@ -185,8 +195,14 @@ def _sync_calls(stmt: ast.stmt, types: _Types) -> List[_SyncCall]:
         name = _call_name(call)
         if name in ("Invoke", "FastInvoke") and len(call.args) >= 2:
             method = _const_str(call.args[1])
-            if method is not None:
+            if method is None:
+                return
+            if method in _PAIRS or method in _RELEASES or method in (
+                    "wait", "join"):
                 _add(call.args[0], method, call.lineno)
+            else:
+                calls.append(_SyncCall(_expr_key(call.args[0]), method,
+                                       call.lineno, False, remote=True))
             return
         if name in _BLOCK_NAMES:
             calls.append(_SyncCall("", name, call.lineno, True))
@@ -326,6 +342,8 @@ class _FunctionLinter:
             elif call.method == "wait":
                 self._check_wait(call, held, siblings)
                 self._check_spin_block(call, held)
+            elif call.remote:
+                self._check_spin_invoke(call, held)
             elif call.blocking:
                 self._check_spin_block(call, held)
         return frozenset(held)
@@ -384,6 +402,21 @@ class _FunctionLinter:
         self.report("AMB105", call.line,
                     f"blocking call '{call.method}' while holding "
                     f"SpinLock '{_pretty_key(sorted(spins)[0])}'")
+
+    def _check_spin_invoke(self, call: _SyncCall,
+                           held: Set[str]) -> None:
+        """AMB108: a data invocation while a SpinLock is held.  The
+        invocation may ship the thread across the network; every other
+        CPU contending for the lock spins for the whole round-trip."""
+        spins = [key for key in held
+                 if self.types.of(key) == "SpinLock" and
+                 key != call.key]
+        if not spins:
+            return
+        self.report("AMB108", call.line,
+                    f"Invoke('{call.method}') while holding SpinLock "
+                    f"'{_pretty_key(sorted(spins)[0])}'; contenders "
+                    f"spin for the whole remote round-trip")
 
     def _scan_forks(self, body: List[ast.stmt]) -> None:
         """AMB103: forked threads with no join anywhere in the
@@ -748,23 +781,12 @@ def _noqa_lines(source: str) -> Dict[int, Optional[Set[str]]]:
     return out
 
 
-def lint_source(source: str, path: str = "<string>"
-                ) -> List[LintFinding]:
-    """Lint one module's source text; returns findings sorted by
-    position."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [LintFinding(path, exc.lineno or 0, "AMB000",
-                            f"syntax error: {exc.msg}")]
+def filter_noqa(findings: Iterable[LintFinding],
+                source: str) -> List[LintFinding]:
+    """Drop findings suppressed by ``# repro: noqa`` comments in the
+    source they were reported against, sorted by position.  Shared by
+    the lint pass and the AmberFlow diagnostics."""
     noqa = _noqa_lines(source)
-    findings: List[LintFinding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        types = _Types()
-        types.learn_function(node)
-        findings.extend(_FunctionLinter(node, path, types).run())
     kept = []
     for finding in findings:
         suppressed = noqa.get(finding.line, ...)
@@ -774,6 +796,25 @@ def lint_source(source: str, path: str = "<string>"
             continue
         kept.append(finding)
     return sorted(kept, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_source(source: str, path: str = "<string>"
+                ) -> List[LintFinding]:
+    """Lint one module's source text; returns findings sorted by
+    position."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path, exc.lineno or 0, "AMB000",
+                            f"syntax error: {exc.msg}")]
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        types = _Types()
+        types.learn_function(node)
+        findings.extend(_FunctionLinter(node, path, types).run())
+    return filter_noqa(findings, source)
 
 
 def lint_paths(paths: Iterable[str]) -> List[LintFinding]:

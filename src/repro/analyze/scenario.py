@@ -11,7 +11,7 @@ simulated execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Set, cast
 
 from repro.analyze.fixtures import (
     run_immutable_write,
@@ -139,12 +139,13 @@ def run_analysis_scenarios(seed: int = 0,
 # ----------------------------------------------------------------------
 
 
-def _report_of(result) -> SanitizerReport:
-    return result.cluster.sanitizer.report()
+def _report_of(result: Any) -> SanitizerReport:
+    return cast(SanitizerReport, result.cluster.sanitizer.report())
 
 
-def _expect_findings(name: str, description: str, fixture,
-                     rules: set, seed: int) -> AnalysisOutcome:
+def _expect_findings(name: str, description: str,
+                     fixture: Callable[[int], Any],
+                     rules: Set[str], seed: int) -> AnalysisOutcome:
     """The fixture must produce at least one finding of each expected
     rule, no findings of other rules, and identical signatures on a
     repeat run and on neighbouring seeds."""
@@ -173,7 +174,8 @@ def _expect_findings(name: str, description: str, fixture,
         signatures=signatures, detail=detail)
 
 
-def _expect_clean(name: str, description: str, fixture,
+def _expect_clean(name: str, description: str,
+                  fixture: Callable[[int], Any],
                   seed: int) -> AnalysisOutcome:
     result = fixture(seed)
     report = _report_of(result)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.apps.sor.grid import VALUE_BYTES
 from repro.core.costs import CostModel
+from repro.placement.policies import PlacementPolicy
 from repro.sim.cluster import ClusterConfig
 from repro.sim.objects import SimObject
 from repro.sim.program import AmberProgram
@@ -121,18 +122,27 @@ def run_matmul(m: int = 96, k: int = 96, n: int = 96,
                mac_us: float = DEFAULT_MAC_US,
                costs: Optional[CostModel] = None,
                seed: int = 7,
-               tracer=None) -> MatmulResult:
+               tracer=None,
+               placement: Optional[PlacementPolicy] = None
+               ) -> MatmulResult:
     """Multiply random ``m x k`` by ``k x n`` on a simulated cluster, one
-    row-block (and one worker thread) per node."""
+    row-block (and one worker thread) per node.
+
+    ``placement`` overrides creation-time placement and replication per
+    class; the default policy passes the program's own choices
+    (including ``replicate_b``) through unchanged."""
     rng = np.random.default_rng(seed)
     a = rng.standard_normal((m, k), dtype=np.float32)
     b_values = rng.standard_normal((k, n), dtype=np.float32)
     block = col_block if col_block is not None else max(8, n // 4)
+    place = placement if placement is not None else PlacementPolicy()
 
     def main(ctx):
         b = yield New(MatrixB, b_values,
-                      size_bytes=k * n * VALUE_BYTES)
-        if replicate_b:
+                      size_bytes=k * n * VALUE_BYTES,
+                      on_node=place.node_for("MatrixB", 0, None,
+                                             count=1))
+        if place.replicate("MatrixB", replicate_b):
             yield SetImmutable(b)
         workers = []
         for node in range(nodes):
@@ -140,7 +150,8 @@ def run_matmul(m: int = 96, k: int = 96, n: int = 96,
             row_hi = m * (node + 1) // nodes
             workers.append((yield New(
                 RowBlockWorker, a[row_lo:row_hi], b, block, mac_us,
-                on_node=node,
+                on_node=place.node_for("RowBlockWorker", node, node,
+                                       count=nodes),
                 size_bytes=(row_hi - row_lo) * k * VALUE_BYTES)))
         threads = []
         for worker in workers:

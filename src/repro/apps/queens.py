@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.costs import CostModel
+from repro.placement.policies import PlacementPolicy
 from repro.sim.cluster import ClusterConfig
 from repro.sim.objects import SimObject
 from repro.sim.program import AmberProgram
@@ -203,16 +204,27 @@ def run_amber_queens(n: int = 10,
                      node_cost_us: float = DEFAULT_NODE_COST_US,
                      costs: Optional[CostModel] = None,
                      tracer=None,
-                     faults=None) -> QueensResult:
-    """Count N-Queens solutions on a simulated Amber cluster."""
+                     faults=None,
+                     placement: Optional[PlacementPolicy] = None
+                     ) -> QueensResult:
+    """Count N-Queens solutions on a simulated Amber cluster.
+
+    ``placement`` overrides creation-time placement per class; the
+    default policy passes the program's own choices through unchanged.
+    """
     prefixes = seed_prefixes(n, split_depth)
+    place = placement if placement is not None else PlacementPolicy()
 
     def main(ctx):
-        pool = yield New(WorkPool, prefixes)
+        pool = yield New(WorkPool, prefixes,
+                         on_node=place.node_for("WorkPool", 0, None,
+                                                count=1))
         workers = []
         for node in range(nodes):
             anchor = yield New(QueensWorker, n, pool, node_cost_us,
-                               on_node=node)
+                               on_node=place.node_for(
+                                   "QueensWorker", node, node,
+                                   count=nodes))
             for _ in range(cpus_per_node):
                 workers.append((yield Fork(anchor, "run", batch)))
         per_worker = []

@@ -52,6 +52,7 @@ from repro.apps.sor.sequential import (
     sequential_time_us,
 )
 from repro.core.costs import CostModel
+from repro.placement.policies import PlacementPolicy
 from repro.sim.cluster import ClusterConfig
 from repro.sim.objects import SimObject
 from repro.sim.program import AmberProgram
@@ -406,23 +407,30 @@ def run_amber_sor(problem: SorProblem,
                   contended_network: bool = True,
                   collect_grid: bool = False,
                   tracer=None,
-                  faults=None) -> AmberSorResult:
+                  faults=None,
+                  placement: Optional[PlacementPolicy] = None
+                  ) -> AmberSorResult:
     """Run the Amber SOR program on a simulated cluster.
 
     The defaults reproduce the paper's experimental setup: sections per
     :func:`default_sections`, sections distributed in contiguous blocks
     over the nodes, one worker thread per CPU share of a section.
+    ``placement`` overrides creation-time placement per class; the
+    default policy passes the program's block layout through unchanged.
     """
     nsections = sections if sections is not None else default_sections(nodes)
     total_cpus = nodes * cpus_per_node
     workers = (workers_per_section if workers_per_section is not None
                else max(1, total_cpus // nsections))
+    place = placement if placement is not None else PlacementPolicy()
 
     def node_of(section_index: int) -> int:
         return section_index * nodes // nsections
 
     def main(ctx):
-        master = yield New(SorMaster, nsections, problem.tolerance)
+        master = yield New(SorMaster, nsections, problem.tolerance,
+                           on_node=place.node_for("SorMaster", 0, None,
+                                                  count=1))
         section_objs = []
         for s in range(nsections):
             col_lo = problem.cols * s // nsections
@@ -432,7 +440,9 @@ def run_amber_sor(problem: SorProblem,
             section = yield New(
                 SorSection, s, nsections, problem, col_lo, ncols,
                 workers, per_point_us, overlap,
-                size_bytes=slab_bytes, on_node=node_of(s))
+                size_bytes=slab_bytes,
+                on_node=place.node_for("SorSection", s, node_of(s),
+                                       count=nsections))
             section_objs.append(section)
         for s, section in enumerate(section_objs):
             left = section_objs[s - 1] if s > 0 else None

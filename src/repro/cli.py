@@ -34,7 +34,18 @@
                                               # explore one fixture
     python -m repro check --fixture hidden-race --replay 0,0,0,1
                                               # replay a choice trace
-    python -m repro lint [paths...]           # concurrency AST lint
+    python -m repro lint [paths...] [--json PATH]
+                                              # concurrency AST lint
+                                              # (exit 1 on findings)
+    python -m repro flow [--fast] [--json PATH]
+                                              # AmberFlow object-flow
+                                              # analysis + placement-hint
+                                              # cross-validation
+                                              # (docs/ANALYSIS.md)
+    python -m repro flow --hints-out PATH     # emit the PlacementHints
+                                              # artifact
+    python -m repro flow --expect PATH        # gate findings against a
+                                              # committed expectation
     python -m repro perf [--fast] [--json PATH]
                                               # AmberPerf benchmark suite
                                               # (see docs/PERF.md)
@@ -366,6 +377,8 @@ def _cmd_perf(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from repro.analyze.lint import RULES, lint_paths
 
     paths = args.paths or ["src/repro/apps", "examples"]
@@ -376,11 +389,45 @@ def _cmd_lint(args) -> int:
         print()
         for rule, text in sorted(RULES.items()):
             print(f"{rule}: {text}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({
+                "paths": paths,
+                "findings": [
+                    {"path": f.path, "line": f.line, "rule": f.rule,
+                     "message": f.message} for f in findings
+                ],
+            }, handle, indent=2)
+        print(f"findings written to {args.json}")
     if findings:
         print(f"\n{len(findings)} finding(s)")
         return 1
     print(f"clean: {', '.join(paths)}")
     return 0
+
+
+def _cmd_flow(args) -> int:
+    import json
+
+    from repro.analyze.flow import run_flow_scenarios
+
+    report = run_flow_scenarios(fast=args.fast, paths=args.paths,
+                                expect=args.expect)
+    print(report.render())
+    if args.hints_out:
+        with open(args.hints_out, "w") as handle:
+            handle.write(report.hints.to_json())
+        print(f"\nplacement hints written to {args.hints_out}")
+    if args.write_expect:
+        with open(args.write_expect, "w") as handle:
+            json.dump(report.findings_payload(), handle, indent=2)
+            handle.write("\n")
+        print(f"\nfindings expectation written to {args.write_expect}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nreport written to {args.json}")
+    return 0 if report.ok else 1
 
 
 def _maybe_write_metrics(args, result) -> None:
@@ -548,13 +595,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "timeline as a Perfetto trace")
 
     lp = sub.add_parser("lint",
-                        help="static concurrency lint (AMB101-AMB105) "
+                        help="static concurrency lint (AMB101-AMB108) "
                              "over Amber programs")
     lp.add_argument("paths", nargs="*",
                     help="files or directories (default: src/repro/apps "
                          "and examples)")
     lp.add_argument("--explain", action="store_true",
                     help="print the rule catalogue after the findings")
+    lp.add_argument("--json", metavar="PATH", default=None,
+                    help="also dump the findings as machine-readable "
+                         "JSON")
+
+    wp = sub.add_parser("flow",
+                        help="AmberFlow: whole-program object-flow "
+                             "analysis; derives placement hints, runs "
+                             "AMB201-AMB205 diagnostics, and "
+                             "cross-validates the hints against "
+                             "simulator runs (docs/ANALYSIS.md)")
+    wp.add_argument("--fast", action="store_true",
+                    help="smaller app runs for the dynamic scenarios "
+                         "(CI smoke)")
+    wp.add_argument("--paths", nargs="*", default=None,
+                    help="analyze these files/directories instead of "
+                         "the bundled apps+examples (static scenarios "
+                         "only)")
+    wp.add_argument("--expect", metavar="PATH", default=None,
+                    help="gate the finding set against this committed "
+                         "expectation file")
+    wp.add_argument("--write-expect", metavar="PATH", default=None,
+                    help="write the finding set as a new expectation "
+                         "file")
+    wp.add_argument("--hints-out", metavar="PATH", default=None,
+                    help="write the PlacementHints artifact as JSON")
+    wp.add_argument("--json", metavar="PATH", default=None,
+                    help="dump the full report as JSON")
 
     args = parser.parse_args(argv)
 
@@ -572,6 +646,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "flow":
+        return _cmd_flow(args)
     if args.command == "perf":
         return _cmd_perf(args)
 

@@ -16,19 +16,33 @@ automatic placement, both discussed in §2.3).
 * :class:`~repro.placement.policies.AffinityRebalancer` — mine the
   kernel's access log for objects whose invocations mostly arrive from
   some other node and suggest moving them there (the "reorganize object
-  locations following different computational phases" pattern of §2.3).
+  locations following different computational phases" pattern of §2.3);
+* :class:`~repro.placement.policies.PlacementPolicy` and friends —
+  class-level creation-time policies the bundled apps consult:
+  the pass-through default (bit-identical to no policy),
+  :class:`~repro.placement.policies.SpreadPlacement` (knowledge-free
+  round-robin baseline), and
+  :class:`~repro.placement.policies.HintedPlacement`, which consumes
+  the AmberFlow ``PlacementHints`` artifact (``repro flow``) and falls
+  back cleanly when hints are absent, stale, or name unknown classes.
 """
 
 from repro.placement.policies import (
     AffinityRebalancer,
+    HintedPlacement,
     LeastPopulatedPlacer,
     MoveSuggestion,
+    PlacementPolicy,
     RoundRobinPlacer,
+    SpreadPlacement,
 )
 
 __all__ = [
     "AffinityRebalancer",
+    "HintedPlacement",
     "LeastPopulatedPlacer",
     "MoveSuggestion",
+    "PlacementPolicy",
     "RoundRobinPlacer",
+    "SpreadPlacement",
 ]

@@ -7,7 +7,7 @@ the program decides and moves.  See the package docstring for why.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List, Mapping, Optional, Set
 
 from repro.sim.cluster import SimCluster
 from repro.sim.objects import SimObject
@@ -115,3 +115,134 @@ class AffinityRebalancer:
         """Forget history — call at phase boundaries so stale affinity
         does not dominate the next phase."""
         cluster.access_log.clear()
+
+
+# ---------------------------------------------------------------------------
+# Class-level placement policies (consulted at object-creation time)
+# ---------------------------------------------------------------------------
+
+
+class PlacementPolicy:
+    """Base policy: honor the program's own choices.
+
+    Apps that opt in consult a policy for every creation-time decision:
+    ``node_for`` maps (class name, instance index, the program's own
+    default) to a node, and ``replicate`` decides whether a class's
+    instances get ``SetImmutable`` treatment.  The base class passes
+    every ``default`` through unchanged, so running an app with the
+    default policy is bit-identical to running it without one —
+    placement stays under explicit program control (§2.3) unless a
+    policy deliberately overrides it."""
+
+    def node_for(self, cls: str, index: int, default: Optional[int],
+                 count: Optional[int] = None) -> Optional[int]:
+        """Node for instance ``index`` of ``cls`` (``count`` instances
+        total, when the program knows).  ``None`` means "wherever the
+        creating thread runs"."""
+        return default
+
+    def replicate(self, cls: str, default: bool) -> bool:
+        """Whether instances of ``cls`` should be made immutable and
+        replicated on first remote use."""
+        return default
+
+
+class SpreadPlacement(PlacementPolicy):
+    """The static default: round-robin every class, replicate nothing.
+
+    This is the knowledge-free baseline the AmberFlow ablation compares
+    against — reasonable load balance, zero locality insight."""
+
+    def __init__(self, nodes: int):
+        self.nodes = max(1, nodes)
+
+    def node_for(self, cls: str, index: int, default: Optional[int],
+                 count: Optional[int] = None) -> Optional[int]:
+        return index % self.nodes
+
+    def replicate(self, cls: str, default: bool) -> bool:
+        return False
+
+
+class HintedPlacement(PlacementPolicy):
+    """Placement driven by an AmberFlow ``PlacementHints`` artifact.
+
+    ``hints`` may be the artifact object itself (anything with an
+    ``as_dict()``) or the parsed JSON dict; this module deliberately
+    does not import :mod:`repro.analyze` — the artifact schema is the
+    contract.  A missing, stale (wrong ``schema``), or malformed
+    artifact disables the policy entirely: every decision goes to
+    ``fallback`` (the base pass-through policy when not given).
+    Classes the artifact does not mention also fall back.
+
+    Hint kinds map to decisions:
+
+    * ``spread``/``round-robin`` — instance ``index % nodes``;
+    * ``spread``/``block`` — ``index * nodes // count`` (neighbors
+      share a node; needs ``count``, else round-robin);
+    * ``hub``/``move`` — the program's default (stay put, let function
+      shipping or an explicit ``MoveTo`` do the work);
+    * ``replicate`` — ``replicate()`` answers True.
+    """
+
+    SCHEMA = "amberflow-hints/1"
+
+    def __init__(self, hints: Any, nodes: int,
+                 fallback: Optional[PlacementPolicy] = None):
+        self.nodes = max(1, nodes)
+        self.fallback: PlacementPolicy = (
+            fallback if fallback is not None else PlacementPolicy())
+        self._spread: Dict[str, str] = {}
+        self._stay: Set[str] = set()        # hub + move classes
+        self._replicate: Set[str] = set()
+        self.stale = True
+        raw: Any = hints
+        as_dict = getattr(raw, "as_dict", None)
+        if callable(as_dict):
+            raw = as_dict()
+        if not isinstance(raw, Mapping) or \
+                raw.get("schema") != self.SCHEMA:
+            return
+        self.stale = False
+        for hint in raw.get("hints", ()):
+            if not isinstance(hint, Mapping):
+                continue
+            kind = str(hint.get("kind", ""))
+            cls = str(hint.get("cls", ""))
+            if not cls:
+                continue
+            if kind == "spread":
+                strategy = str(hint.get("strategy") or "round-robin")
+                self._spread[cls] = strategy
+            elif kind in ("hub", "move"):
+                self._stay.add(cls)
+            elif kind == "replicate":
+                self._replicate.add(cls)
+
+    def knows(self, cls: str) -> bool:
+        """Whether the artifact says anything about ``cls``."""
+        return (not self.stale
+                and (cls in self._spread or cls in self._stay
+                     or cls in self._replicate))
+
+    def node_for(self, cls: str, index: int, default: Optional[int],
+                 count: Optional[int] = None) -> Optional[int]:
+        if self.stale:
+            return self.fallback.node_for(cls, index, default, count)
+        strategy = self._spread.get(cls)
+        if strategy is not None:
+            if strategy == "block" and count:
+                return (index * self.nodes) // count
+            return index % self.nodes
+        if cls in self._stay or cls in self._replicate:
+            return default
+        return self.fallback.node_for(cls, index, default, count)
+
+    def replicate(self, cls: str, default: bool) -> bool:
+        if self.stale:
+            return self.fallback.replicate(cls, default)
+        if cls in self._replicate:
+            return True
+        if cls in self._spread or cls in self._stay:
+            return False
+        return self.fallback.replicate(cls, default)

@@ -158,6 +158,49 @@ def op(self, ctx, lock, t):
 """) == []
 
 
+class TestAMB108:
+    def test_invoke_under_spinlock(self):
+        assert rules_of("""
+def op(self, ctx, store):
+    spin = yield New(SpinLock)
+    yield Invoke(spin, "acquire")
+    yield Invoke(store, "put", 1)
+    yield Invoke(spin, "release")
+""") == [("AMB108", 5)]
+
+    def test_fastinvoke_under_spinlock(self):
+        assert rules_of("""
+def op(self, ctx, spin: SpinLock, table):
+    yield Invoke(spin, "acquire")
+    value = yield FastInvoke(table, "get", 3)
+    yield Invoke(spin, "release")
+""") == [("AMB108", 4)]
+
+    def test_noqa_suppresses(self):
+        assert rules_of("""
+def op(self, ctx, spin: SpinLock, store):
+    yield Invoke(spin, "acquire")
+    yield Invoke(store, "put", 1)  # repro: noqa[AMB108]
+    yield Invoke(spin, "release")
+""") == []
+
+    def test_invoke_under_plain_lock_is_fine(self):
+        assert rules_of("""
+def op(self, ctx, lock, store):
+    yield Invoke(lock, "acquire")
+    yield Invoke(store, "put", 1)
+    yield Invoke(lock, "release")
+""") == []
+
+    def test_invoke_after_release_is_fine(self):
+        assert rules_of("""
+def op(self, ctx, spin: SpinLock, store):
+    yield Invoke(spin, "acquire")
+    yield Invoke(spin, "release")
+    yield Invoke(store, "put", 1)
+""") == []
+
+
 class TestAMB106:
     def test_barrier_count_mismatch(self):
         assert rules_of("""
@@ -334,7 +377,8 @@ def op(self, ctx, anchor):
 class TestHarness:
     def test_rule_catalogue_is_complete(self):
         assert set(RULES) == {"AMB101", "AMB102", "AMB103",
-                              "AMB104", "AMB105", "AMB106", "AMB107"}
+                              "AMB104", "AMB105", "AMB106", "AMB107",
+                              "AMB108"}
 
     def test_syntax_error_is_reported_not_raised(self):
         findings = lint_source("def broken(:\n", "bad.py")

@@ -5,8 +5,11 @@ import pytest
 
 from repro.placement import (
     AffinityRebalancer,
+    HintedPlacement,
     LeastPopulatedPlacer,
+    PlacementPolicy,
     RoundRobinPlacer,
+    SpreadPlacement,
 )
 from repro.sim.objects import SimObject
 from repro.sim.program import run_program
@@ -171,3 +174,97 @@ class TestAffinityRebalancer:
             return dict(ctx.cluster.access_log)
 
         assert run_program(main, nodes=2).value == {}
+
+
+def _artifact(hints):
+    return {"schema": "amberflow-hints/1", "sources": [],
+            "hints": hints}
+
+
+class TestPlacementPolicies:
+    """Hint-override paths of the creation-time placement policies."""
+
+    def test_base_policy_passes_defaults_through(self):
+        policy = PlacementPolicy()
+        assert policy.node_for("Any", 3, None) is None
+        assert policy.node_for("Any", 3, 2) == 2
+        assert policy.replicate("Any", True) is True
+        assert policy.replicate("Any", False) is False
+
+    def test_spread_round_robins_and_never_replicates(self):
+        policy = SpreadPlacement(3)
+        assert [policy.node_for("C", i, 0) for i in range(5)] == \
+            [0, 1, 2, 0, 1]
+        assert policy.replicate("C", True) is False
+
+    def test_hinted_spread_round_robin(self):
+        policy = HintedPlacement(_artifact([
+            {"kind": "spread", "cls": "Worker",
+             "strategy": "round-robin"}]), nodes=2)
+        assert [policy.node_for("Worker", i, 9, count=4)
+                for i in range(4)] == [0, 1, 0, 1]
+
+    def test_hinted_spread_block_keeps_neighbors_together(self):
+        policy = HintedPlacement(_artifact([
+            {"kind": "spread", "cls": "Section",
+             "strategy": "block"}]), nodes=2)
+        assert [policy.node_for("Section", i, 9, count=8)
+                for i in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_block_without_count_degrades_to_round_robin(self):
+        policy = HintedPlacement(_artifact([
+            {"kind": "spread", "cls": "Section",
+             "strategy": "block"}]), nodes=2)
+        assert [policy.node_for("Section", i, 9)
+                for i in range(4)] == [0, 1, 0, 1]
+
+    def test_hub_and_replicate_classes_stay_at_program_default(self):
+        policy = HintedPlacement(_artifact([
+            {"kind": "hub", "cls": "Pool"},
+            {"kind": "replicate", "cls": "Table"}]), nodes=4)
+        assert policy.node_for("Pool", 0, None) is None
+        assert policy.node_for("Table", 1, 3) == 3
+        assert policy.replicate("Table", False) is True
+        assert policy.replicate("Pool", True) is False
+
+    def test_unknown_class_goes_to_fallback(self):
+        policy = HintedPlacement(
+            _artifact([{"kind": "hub", "cls": "Pool"}]), nodes=2,
+            fallback=SpreadPlacement(2))
+        assert not policy.knows("Stranger")
+        assert policy.node_for("Stranger", 3, None) == 1
+        assert policy.replicate("Stranger", True) is False
+
+    def test_unknown_class_without_fallback_keeps_program_choice(self):
+        policy = HintedPlacement(_artifact([]), nodes=2)
+        assert policy.node_for("Stranger", 3, 1) == 1
+        assert policy.replicate("Stranger", True) is True
+
+    def test_absent_hints_disable_the_policy(self):
+        policy = HintedPlacement(None, nodes=2,
+                                 fallback=SpreadPlacement(2))
+        assert policy.stale
+        assert policy.node_for("Worker", 3, 0) == 1
+        assert policy.replicate("Worker", True) is False
+
+    def test_stale_schema_disables_the_policy(self):
+        policy = HintedPlacement(
+            {"schema": "amberflow-hints/999", "hints": [
+                {"kind": "spread", "cls": "Worker"}]}, nodes=2)
+        assert policy.stale
+        assert not policy.knows("Worker")
+        assert policy.node_for("Worker", 3, 0) == 0
+
+    def test_malformed_artifact_disables_the_policy(self):
+        policy = HintedPlacement(["not", "a", "mapping"], nodes=2)
+        assert policy.stale
+        assert policy.node_for("Worker", 1, 7) == 7
+
+    def test_artifact_object_is_accepted(self):
+        from repro.analyze.flow import Hint, PlacementHints
+        hints = PlacementHints(
+            schema="amberflow-hints/1", sources=[],
+            hints=[Hint(kind="replicate", cls="B")])
+        policy = HintedPlacement(hints, nodes=2)
+        assert not policy.stale
+        assert policy.replicate("B", False) is True
