@@ -1,7 +1,7 @@
 # Convenience targets for the Amber reproduction.
 
 .PHONY: install test bench perf artifacts examples lint analyze \
-	amber-check check chaos flow clean
+	amber-check check chaos flow elide clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,8 +30,14 @@ chaos:
 		PYTHONPATH=src python -m repro chaos --fast --seed $$seed || exit 1; \
 	done
 
+# AmberElide: escape/confinement analysis + verified sync-elision
+# fast paths (docs/ANALYSIS.md).  Add --verify for the full dynamic
+# soundness suite (AmberCheck, bit-identity, perf trajectory).
+elide:
+	PYTHONPATH=src python -m repro elide --fast
+
 # The full static + dynamic + model-checking gauntlet.
-check: lint flow analyze amber-check
+check: lint flow elide analyze amber-check
 
 # The paper-figure benchmark suite (simulated results asserted against
 # the paper's shape; pytest-benchmark records regeneration cost).

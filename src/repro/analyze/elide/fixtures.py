@@ -1,0 +1,317 @@
+"""The AmberElide fixture catalog.
+
+Each fixture is one source string that serves two masters: the static
+pass scans it (classification + AMB3xx findings are asserted against
+the expectations below), and the dynamic verification ``exec``-s it
+and runs its ``main`` under the simulator — the *same text* drives
+both, so a fixture cannot quietly diverge from what the analysis was
+graded on.  The ``_noqa`` twins prove the suppression machinery works
+for the AMB3xx rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Common preamble: fixtures import the real simulator API, so the
+#: exec-ed module is an ordinary Amber program.
+_PRELUDE = """\
+from repro.sim import SimObject
+from repro.sim.syscalls import Charge, Fork, Invoke, Join, New
+from repro.sim.sync import Lock
+"""
+
+_CONFINED_COUNTER = _PRELUDE + """\
+
+ROUNDS = 12
+
+
+class Tally(SimObject):
+    def __init__(self) -> None:
+        self.total = 0
+
+    def bump(self, ctx, amount):
+        self.total += amount
+        yield Charge(1.0)
+        return self.total
+
+    def snapshot(self, ctx):
+        return self.total
+
+
+def main(ctx):
+    tally = yield New(Tally)
+    gate = yield New(Lock)
+    for round_no in range(ROUNDS):
+        yield Invoke(gate, "acquire")
+        yield Invoke(tally, "bump", round_no)
+        yield Invoke(gate, "release")
+    result = yield Invoke(tally, "snapshot")
+    return result
+"""
+
+_CONFINED_COUNTER_NOQA = _CONFINED_COUNTER.replace(
+    "    gate = yield New(Lock)",
+    "    gate = yield New(Lock)  # repro: noqa[AMB301]").replace(
+    '        yield Invoke(tally, "bump", round_no)',
+    '        yield Invoke(tally, "bump", round_no)'
+    '  # repro: noqa[AMB303]')
+
+_SHARED_POOL = _PRELUDE + """\
+
+ITEMS = 10
+
+
+class JobPool(SimObject):
+    def __init__(self, items: int) -> None:
+        self.items = list(range(items))
+        self.taken = 0
+
+    def take(self, ctx):
+        yield Charge(1.0)
+        if not self.items:
+            return None
+        self.taken += 1
+        return self.items.pop(0)
+
+
+class PoolWorker(SimObject):
+    def __init__(self, pool: "JobPool", gate) -> None:
+        self.pool = pool
+        self.gate = gate
+        self.claimed = 0
+
+    def run(self, ctx):
+        while True:
+            yield Invoke(self.gate, "acquire")
+            job = yield Invoke(self.pool, "take")
+            yield Invoke(self.gate, "release")
+            if job is None:
+                return self.claimed
+            self.claimed += 1
+
+
+def main(ctx):
+    pool = yield New(JobPool, ITEMS)
+    gate = yield New(Lock)
+    workers = []
+    for index in range(2):
+        worker = yield New(PoolWorker, pool, gate, on_node=index % 2)
+        workers.append(worker)
+    threads = []
+    for worker in workers:
+        thread = yield Fork(worker, "run")
+        threads.append(thread)
+    total = 0
+    for thread in threads:
+        claimed = yield Join(thread)
+        total += claimed
+    return total
+"""
+
+_SHARED_POOL_NOQA = _SHARED_POOL.replace(
+    "    gate = yield New(Lock)",
+    "    gate = yield New(Lock)  # repro: noqa[AMB304]")
+
+_IMMUTABLE_TABLE = _PRELUDE + """\
+
+SIZE = 8
+
+
+class SumTable(SimObject):
+    def __init__(self, size: int) -> None:
+        self.values = [v * v for v in range(size)]
+
+    def lookup(self, ctx, index):
+        yield Charge(1.0)
+        return self.values[index]
+
+
+class TableReader(SimObject):
+    def __init__(self, table: "SumTable", size: int) -> None:
+        self.table = table
+        self.size = size
+
+    def run(self, ctx):
+        total = 0
+        for index in range(self.size):
+            value = yield Invoke(self.table, "lookup", index)
+            total += value
+        return total
+
+
+def main(ctx):
+    table = yield New(SumTable, SIZE)
+    readers = []
+    for index in range(2):
+        reader = yield New(TableReader, table, SIZE, on_node=index % 2)
+        readers.append(reader)
+    threads = []
+    for reader in readers:
+        thread = yield Fork(reader, "run")
+        threads.append(thread)
+    total = 0
+    for thread in threads:
+        part = yield Join(thread)
+        total += part
+    return total
+"""
+
+_IMMUTABLE_TABLE_NOQA = _IMMUTABLE_TABLE.replace(
+    "class SumTable(SimObject):",
+    "class SumTable(SimObject):  # repro: noqa[AMB302]")
+
+_SCRATCH_WORKERS = _PRELUDE + """\
+
+STEPS = 6
+
+
+class Scratch(SimObject):
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self, ctx, amount):
+        self.value += amount
+        yield Charge(1.0)
+        return self.value
+
+
+class Cruncher(SimObject):
+    def __init__(self, steps: int) -> None:
+        self.steps = steps
+
+    def run(self, ctx):
+        scratch = yield New(Scratch)
+        latch = yield New(Lock)
+        total = 0
+        for step in range(self.steps):
+            yield Invoke(latch, "acquire")
+            total = yield Invoke(scratch, "bump", step)
+            yield Invoke(latch, "release")
+        return total
+
+
+def main(ctx):
+    crunchers = []
+    for index in range(2):
+        cruncher = yield New(Cruncher, STEPS, on_node=index % 2)
+        crunchers.append(cruncher)
+    threads = []
+    for cruncher in crunchers:
+        thread = yield Fork(cruncher, "run")
+        threads.append(thread)
+    grand = 0
+    for thread in threads:
+        part = yield Join(thread)
+        grand += part
+    return grand
+"""
+
+
+@dataclass(frozen=True)
+class ElideFixture:
+    """One catalog entry and everything asserted about it."""
+
+    name: str
+    source: str
+    #: Expected AMB3xx rule names, sorted, with multiplicity.
+    expected_rules: Tuple[str, ...]
+    confined: Tuple[str, ...]
+    immutable: Tuple[str, ...]
+    #: Expected elidable ``(owner, lock_cls)`` pairs.
+    elidable_owners: Tuple[Tuple[str, str], ...]
+    #: Whether the dynamic verification runs ``main``.
+    runnable: bool
+    #: Expected ``main`` return value (runnable fixtures only).
+    expect_result: Any = None
+    #: Whether elision-on runs must show ``lock_elided_total > 0``.
+    expect_elided: bool = False
+    nodes: int = 2
+    cpus_per_node: int = 2
+
+    @property
+    def path(self) -> str:
+        return f"<fixture:{self.name}>"
+
+    def sources(self) -> List[Tuple[str, str]]:
+        return [(self.path, self.source)]
+
+    def load_main(self) -> Callable[..., Any]:
+        """Exec the fixture text and hand back its ``main``."""
+        namespace: Dict[str, Any] = {}
+        exec(compile(self.source, self.path, "exec"),  # noqa: S102
+             namespace)
+        main = namespace["main"]
+        assert callable(main)
+        return main
+
+
+FIXTURES: Dict[str, ElideFixture] = {
+    fixture.name: fixture for fixture in (
+        ElideFixture(
+            name="confined-counter",
+            source=_CONFINED_COUNTER,
+            expected_rules=("AMB301", "AMB303"),
+            confined=("Tally",),
+            immutable=(),
+            elidable_owners=(("<main>", "Lock"),),
+            runnable=True,
+            expect_result=sum(range(12)),
+            expect_elided=True),
+        ElideFixture(
+            name="confined-counter-noqa",
+            source=_CONFINED_COUNTER_NOQA,
+            expected_rules=(),
+            confined=("Tally",),
+            immutable=(),
+            elidable_owners=(("<main>", "Lock"),),
+            runnable=False),
+        ElideFixture(
+            name="shared-pool",
+            source=_SHARED_POOL,
+            expected_rules=("AMB304",),
+            confined=(),
+            immutable=(),
+            elidable_owners=(),
+            runnable=True,
+            expect_result=10,
+            expect_elided=False),
+        ElideFixture(
+            name="shared-pool-noqa",
+            source=_SHARED_POOL_NOQA,
+            expected_rules=(),
+            confined=(),
+            immutable=(),
+            elidable_owners=(),
+            runnable=False),
+        ElideFixture(
+            name="immutable-table",
+            source=_IMMUTABLE_TABLE,
+            expected_rules=("AMB302",),
+            confined=(),
+            immutable=("SumTable", "TableReader"),
+            elidable_owners=(),
+            runnable=True,
+            expect_result=2 * sum(v * v for v in range(8)),
+            expect_elided=False),
+        ElideFixture(
+            name="immutable-table-noqa",
+            source=_IMMUTABLE_TABLE_NOQA,
+            expected_rules=(),
+            confined=(),
+            immutable=("SumTable", "TableReader"),
+            elidable_owners=(),
+            runnable=False),
+        ElideFixture(
+            name="scratch-workers",
+            source=_SCRATCH_WORKERS,
+            expected_rules=("AMB301", "AMB303"),
+            confined=("Scratch",),
+            immutable=("Cruncher",),
+            elidable_owners=(("Cruncher", "Lock"),),
+            runnable=True,
+            expect_result=2 * sum(range(6)),
+            expect_elided=True),
+    )
+}

@@ -1,6 +1,6 @@
 """Static AST lint for Amber concurrency idioms (``repro lint``).
 
-Eight rules, covering the mistakes the simulator's sanitizer only
+Nine rules, covering the mistakes the simulator's sanitizer only
 catches once a run trips over them:
 
 ==========  ============================================================
@@ -14,6 +14,8 @@ AMB106      ``Barrier`` participant count can never match the number of
 AMB107      the same thread handle joined twice
 AMB108      ``Invoke``/``FastInvoke`` made while holding a ``SpinLock``
             (the spin burns a CPU for the whole remote round-trip)
+AMB109      field written after the object was sealed with
+            ``SetImmutable`` on a statically-reachable path
 ==========  ============================================================
 
 Whole-program locality diagnostics (AMB201-AMB205) live in
@@ -48,6 +50,7 @@ RULES: Dict[str, str] = {
     "AMB106": "Barrier parties never matches forked threads in scope",
     "AMB107": "thread handle joined twice",
     "AMB108": "Invoke while holding a SpinLock",
+    "AMB109": "field written after SetImmutable sealed the object",
 }
 
 #: acquire-like method -> its release-like partner.
@@ -269,6 +272,7 @@ class _FunctionLinter:
         self._scan_moves(body)
         self._scan_barriers(body)
         self._scan_joins(body)
+        self._scan_immutables(body)
         return self.findings
 
     def _walk(self, stmts: List[ast.stmt],
@@ -492,6 +496,51 @@ class _FunctionLinter:
                     f"{forks} thread(s) forked in this function "
                     f"(expected {forks}, or {forks + 1} when the "
                     f"forking thread participates)")
+
+    def _scan_immutables(self, body: List[ast.stmt]) -> None:
+        """AMB109: a field written after the object was sealed with
+        ``SetImmutable`` on a statically-reachable path — the write
+        traps at run time if the object is resident, or silently
+        diverges replicas if it already replicated.
+
+        Same conservative position tracking as AMB104: a write counts
+        as "after" the seal when its line follows the seal's line
+        within the function (both the sim syscall ``SetImmutable(x)``
+        and the live-runtime ``cluster.set_immutable(x)`` seal)."""
+        sealed: Dict[str, int] = {}
+        writes: List[Tuple[str, int, str]] = []
+        for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                attr = _call_method(node)
+                if name == "SetImmutable" and node.args:
+                    sealed.setdefault(_expr_key(node.args[0]),
+                                      node.lineno)
+                elif (attr is not None and attr[1] == "set_immutable"
+                        and node.args):
+                    sealed.setdefault(_expr_key(node.args[0]),
+                                      node.lineno)
+                continue
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                elts = (target.elts if isinstance(
+                    target, (ast.Tuple, ast.List)) else [target])
+                for elt in elts:
+                    if isinstance(elt, ast.Attribute):
+                        writes.append((_expr_key(elt.value),
+                                       node.lineno, elt.attr))
+        for key, line, field_name in writes:
+            if key in sealed and line > sealed[key]:
+                self.report(
+                    "AMB109", line,
+                    f"write to '{_pretty_key(key)}.{field_name}' "
+                    f"after SetImmutable at line {sealed[key]} "
+                    f"sealed the object")
 
     def _scan_joins(self, body: List[ast.stmt]) -> None:
         """AMB107: a thread handle joined twice — the second join hangs

@@ -7,9 +7,10 @@ the program decides and moves.  See the package docstring for why.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Set
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.sim.cluster import SimCluster
+from repro.sim.node import SimNode
 from repro.sim.objects import SimObject
 from repro.sim.thread import SimThread
 
@@ -19,7 +20,7 @@ class RoundRobinPlacer:
     choice for regular problems (it is exactly how the SOR program lays
     out its sections)."""
 
-    def __init__(self, nodes: int, start: int = 0):
+    def __init__(self, nodes: int, start: int = 0) -> None:
         self.nodes = nodes
         self._next = start % nodes
 
@@ -33,11 +34,11 @@ class LeastPopulatedPlacer:
     """Place where the fewest objects currently live — a cheap dynamic
     balance signal read from the per-node statistics."""
 
-    def __init__(self, cluster: SimCluster):
+    def __init__(self, cluster: SimCluster) -> None:
         self._cluster = cluster
 
     def place(self) -> int:
-        def population(node) -> int:
+        def population(node: SimNode) -> int:
             return (node.stats.objects_created + node.stats.objects_in
                     - node.stats.objects_out)
 
@@ -75,13 +76,14 @@ class AffinityRebalancer:
     group suffices.
     """
 
-    def __init__(self, min_accesses: int = 4, min_fraction: float = 0.5):
+    def __init__(self, min_accesses: int = 4,
+                 min_fraction: float = 0.5) -> None:
         self.min_accesses = min_accesses
         self.min_fraction = min_fraction
 
     def suggest(self, cluster: SimCluster) -> List[MoveSuggestion]:
         suggestions: List[MoveSuggestion] = []
-        seen_groups: set = set()
+        seen_groups: Set[Tuple[int, ...]] = set()
         for vaddr, by_node in cluster.access_log.items():
             obj = cluster.objects.get(vaddr)
             if obj is None or isinstance(obj, SimThread):
@@ -153,7 +155,7 @@ class SpreadPlacement(PlacementPolicy):
     This is the knowledge-free baseline the AmberFlow ablation compares
     against — reasonable load balance, zero locality insight."""
 
-    def __init__(self, nodes: int):
+    def __init__(self, nodes: int) -> None:
         self.nodes = max(1, nodes)
 
     def node_for(self, cls: str, index: int, default: Optional[int],
@@ -188,7 +190,7 @@ class HintedPlacement(PlacementPolicy):
     SCHEMA = "amberflow-hints/1"
 
     def __init__(self, hints: Any, nodes: int,
-                 fallback: Optional[PlacementPolicy] = None):
+                 fallback: Optional[PlacementPolicy] = None) -> None:
         self.nodes = max(1, nodes)
         self.fallback: PlacementPolicy = (
             fallback if fallback is not None else PlacementPolicy())

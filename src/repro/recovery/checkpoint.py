@@ -87,6 +87,20 @@ def _copy(value, purge_threads: bool):
     return value  # scalars, strings, and unknown types by reference
 
 
+def _slot_fields(cls: type) -> Tuple[str, ...]:
+    """Per-instance ``__slots__`` entries across the MRO.  Hot sim
+    classes (sync objects, threads) declare slots; their state lives in
+    slot descriptors, not ``__dict__``, so snapshots must walk both."""
+    names = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(name for name in slots
+                     if name not in ("__dict__", "__weakref__"))
+    return tuple(names)
+
+
 def snapshot_state(obj: SimObject) -> Dict[str, object]:
     """Capture the object's user-visible state (one checkpoint epoch).
 
@@ -94,9 +108,18 @@ def snapshot_state(obj: SimObject) -> Dict[str, object]:
     promotion restores exactly the set of invocation outcomes the
     snapshot's state reflects — log and state stay atomic.
     """
-    return {name: _copy(value, purge_threads=False)
-            for name, value in obj.__dict__.items()
-            if name not in KERNEL_FIELDS}
+    state = {name: _copy(value, purge_threads=False)
+             for name, value in obj.__dict__.items()
+             if name not in KERNEL_FIELDS}
+    for name in _slot_fields(type(obj)):
+        if name in KERNEL_FIELDS or name in state:
+            continue
+        try:
+            value = getattr(obj, name)
+        except AttributeError:
+            continue            # slot never assigned
+        state[name] = _copy(value, purge_threads=False)
+    return state
 
 
 def restore_state(obj: SimObject, state: Dict[str, object]) -> None:
@@ -109,8 +132,13 @@ def restore_state(obj: SimObject, state: Dict[str, object]) -> None:
     for name in list(obj.__dict__):
         if name not in KERNEL_FIELDS:
             del obj.__dict__[name]
+    slots = set(_slot_fields(type(obj)))
     for name, value in state.items():
-        obj.__dict__[name] = _copy(value, purge_threads=True)
+        copied = _copy(value, purge_threads=True)
+        if name in slots:
+            setattr(obj, name, copied)
+        else:
+            obj.__dict__[name] = copied
 
 
 class CheckpointManager:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -18,7 +18,14 @@ NS_PER_US = 1000
 
 class Event:
     """A scheduled callback.  ``cancel()`` makes it a no-op (lazy deletion:
-    the heap entry stays but is skipped when popped)."""
+    the heap entry stays but is skipped when popped).
+
+    Events never compare with each other: the heap holds
+    ``(time_ns, seq, event)`` triples, and ``seq`` is unique, so every
+    ordering decision resolves on the integers at C speed — a Python
+    ``__lt__`` here would put an interpreter frame inside every sift of
+    every heap operation of the hot loop.
+    """
 
     __slots__ = ("time_ns", "seq", "fn", "cancelled")
 
@@ -31,9 +38,6 @@ class Event:
     def cancel(self) -> None:
         self.cancelled = True
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
-
 
 class Simulator:
     """Event loop with a nanosecond clock.
@@ -45,7 +49,7 @@ class Simulator:
 
     def __init__(self, max_events: int = 500_000_000):
         self.now_ns: int = 0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[int, int, Event]] = []
         self._seq = 0
         self._events_run = 0
         self.max_events = max_events
@@ -77,14 +81,15 @@ class Simulator:
         if time_ns < self.now_ns:
             raise SimulationError(
                 f"event scheduled in the past: {time_ns} < {self.now_ns}")
-        event = Event(time_ns, self._seq, fn)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time_ns, seq, fn)
         profiler = self.profiler
         if profiler is None:
-            heapq.heappush(self._queue, event)
+            heapq.heappush(self._queue, (time_ns, seq, event))
         else:
             t0 = perf_counter()
-            heapq.heappush(self._queue, event)
+            heapq.heappush(self._queue, (time_ns, seq, event))
             profiler.heap_push_s += perf_counter() - t0
             profiler.heap_pushes += 1
         return event
@@ -98,7 +103,7 @@ class Simulator:
         """Run the next non-cancelled event.  Returns False when the queue
         is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[2]
             if event.cancelled:
                 continue
             self.now_ns = event.time_ns
@@ -129,19 +134,21 @@ class Simulator:
                     else round(until_us * NS_PER_US))
         while queue:
             head = queue[0]
-            if head.cancelled:
+            event = head[2]
+            if event.cancelled:
                 pop(queue)
                 continue
-            if limit_ns is not None and head.time_ns > limit_ns:
+            time_ns = head[0]
+            if limit_ns is not None and time_ns > limit_ns:
                 break
             pop(queue)
-            self.now_ns = head.time_ns
+            self.now_ns = time_ns
             self._events_run += 1
             if self._events_run > self.max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; "
                     "likely a livelocked simulation")
-            head.fn()
+            event.fn()
 
     def _run_profiled(self, until_us: Optional[float] = None) -> None:
         """The :meth:`run` loop with host-time phase attribution: heap
@@ -157,25 +164,25 @@ class Simulator:
         while queue:
             t0 = perf_counter()
             head = queue[0]
-            while head.cancelled:
+            while head[2].cancelled:
                 pop(queue)
                 if not queue:
                     profiler.heap_pop_s += perf_counter() - t0
                     return
                 head = queue[0]
-            if limit_ns is not None and head.time_ns > limit_ns:
+            if limit_ns is not None and head[0] > limit_ns:
                 profiler.heap_pop_s += perf_counter() - t0
                 break
             pop(queue)
             t1 = perf_counter()
             profiler.heap_pop_s += t1 - t0
-            self.now_ns = head.time_ns
+            self.now_ns = head[0]
             self._events_run += 1
             if self._events_run > self.max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; "
                     "likely a livelocked simulation")
-            head.fn()
+            head[2].fn()
             profiler.dispatch_s += perf_counter() - t1
             profiler.events += 1
             if profiler.events % profiler.sample_every == 0:
@@ -183,4 +190,4 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of non-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for entry in self._queue if not entry[2].cancelled)

@@ -57,7 +57,9 @@ from repro.recovery.checkpoint import (
 from repro.recovery.detector import HeartbeatDetector
 from repro.recovery.replay import ReplayEntry
 from repro.sim import syscalls as sc
+from repro.analyze.elide import runtime as _ert
 from repro.sim.cluster import SimCluster
+from repro.sim.engine import NS_PER_US
 from repro.sim.node import Cpu, SimNode
 from repro.sim.objects import SimObject, operation_of
 from repro.sim.thread import Activation, SimThread, ThreadState
@@ -829,9 +831,10 @@ class AmberKernel:
         # Direct indexing, not cluster.node(): thread.location is
         # kernel-maintained (only ever a validated node id), and this
         # runs once per charge — the single hottest lookup in a run.
+        sim = self.sim
         node = self.cluster.nodes[thread.location]
         cpu = node.cpus[thread.cpu]
-        cpu.charge_started_ns = self.sim.now_ns
+        cpu.charge_started_ns = sim.now_ns
         cpu.charge_us = us
         cpu.charge_preemptible = preemptible
         token = thread.run_token
@@ -844,7 +847,11 @@ class AmberKernel:
             cpu.charge_preemptible = False
             then()
 
-        cpu.run_event = self.sim.schedule_us(us, fire)
+        # schedule_at_ns directly: charges are kernel-validated
+        # non-negative, so the schedule_us guard is pure per-event
+        # overhead on the single hottest scheduling site.
+        cpu.run_event = sim.schedule_at_ns(
+            sim.now_ns + round(us * NS_PER_US), fire)
 
     def _run_pending_compute(self, thread: SimThread) -> None:
         """Run (part of) an outstanding Compute, honoring the timeslice."""
@@ -1042,8 +1049,14 @@ class AmberKernel:
     def _invoke_entry(self, thread: SimThread, request: sc.Invoke) -> None:
         node = self.cluster.nodes[thread.location]
         vaddr = request.target.vaddr
-        log = self.cluster.access_log.setdefault(vaddr, {})
-        log[node.id] = log.get(node.id, 0) + 1
+        # AmberElide: proven-confined/immutable targets skip the
+        # access-log update — its only consumers (affinity rebalancing,
+        # flow evidence) never see elided runs, and a confined object's
+        # log would be a single-node row anyway.
+        skip = _ert.SKIP
+        if not skip or type(request.target).__name__ not in skip:
+            log = self.cluster.access_log.setdefault(vaddr, {})
+            log[node.id] = log.get(node.id, 0) + 1
         if node.descriptors.is_resident(vaddr):
             node.stats.local_invocations += 1
             if not request.target.immutable and self._recovering() \
@@ -1131,6 +1144,14 @@ class AmberKernel:
         else:
             # Atomic operation: completed instantly; its return still
             # pops the (implicit) frame and pays the return-check cost.
+            # An elided sync op deposits its nominal SYNC_OP_US in the
+            # thread's surcharge; folding it into this charge keeps
+            # simulated elapsed identical to the slow path while saving
+            # the separate Charge event.  (A RUNNING thread's surcharge
+            # is otherwise always zero — it is consumed at switch-in.)
+            surcharge = thread.surcharge_us
+            if surcharge:
+                thread.surcharge_us = 0.0
             if self._recovering() and thread.resurrect_stack:
                 entry = thread.resurrect_stack[-1]
                 if not entry.completed and entry.request is request:
@@ -1139,7 +1160,7 @@ class AmberKernel:
                 thread.pending_invoke_metric = (
                     "invoke_remote_us" if thread.invoke_remote
                     else "invoke_local_us", thread.invoke_t0)
-            self._charge(thread, self.costs.local_return_us,
+            self._charge(thread, self.costs.local_return_us + surcharge,
                          lambda: self._complete_return(
                              thread, result, None,
                              result_bytes=request.result_bytes))
@@ -1220,6 +1241,14 @@ class AmberKernel:
             except AmberError as error:
                 thread.send_exc = error
             else:
+                # AmberElide: mark a lock whose (creator, class) pair
+                # the active artifact proves single-thread-reachable.
+                owners = _ert.LOCK_OWNERS
+                if owners and thread.stack:
+                    creator = _ert.lock_owner_name(
+                        type(thread.stack[-1].obj).__name__)
+                    if (creator, request.cls.__name__) in owners:
+                        obj._elide_ok = True
                 thread.send_value = obj
             self._advance(thread)
 

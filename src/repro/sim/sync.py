@@ -19,6 +19,18 @@ the lock is moved meanwhile, the waiter migrates to the lock's new home the
 next time it is scheduled (the context-switch-time residency check of
 section 3.5).
 
+**Sync elision (AmberElide).**  When a verified ``amberelide/1``
+artifact proves a lock single-thread-reachable, the kernel marks the
+instance ``_elide_ok`` at creation and ``acquire``/``release`` (and
+``Monitor.enter``/``exit``) take an *atomic* fast path: the state
+update runs inline with no Charge scheduler event, and the nominal
+``SYNC_OP_US`` is folded into the thread's surcharge so the simulated
+clock advances exactly as the slow path would — elision changes host
+cost, never simulated semantics.  A marked lock that is nonetheless
+observed held/contended bails to the slow path and counts it
+(``lock_elide_bailout_total``); the soundness audit asserts that
+counter stays zero.
+
 Programmers extend these classes for custom concurrency control — see
 ``ReaderWriterLock`` below for an example built purely from the public
 machinery, as the paper intends.
@@ -27,7 +39,8 @@ machinery, as the paper intends.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import (TYPE_CHECKING, Any, Deque, Generator, List,
+                    Optional, Union)
 
 from repro.analyze import runtime as _analysis
 from repro.errors import SynchronizationError
@@ -35,10 +48,18 @@ from repro.sim.objects import SimObject
 from repro.sim.syscalls import Charge, Compute, Invoke, Suspend, Wakeup
 from repro.sim.thread import SimThread
 
+if TYPE_CHECKING:
+    from repro.sim.kernel import InvocationContext
+
 #: Nominal CPU cost of a lock/barrier bookkeeping step, microseconds.
 SYNC_OP_US = 5.0
 #: CPU burned per spin iteration of a non-relinquishing lock.
 SPIN_STEP_US = 2.0
+
+#: An operation body: a generator the kernel advances, or ``None`` from
+#: an atomic (elided) completion.
+_Op = Generator[Any, Any, None]
+_MaybeOp = Union[_Op, None]
 
 
 def _pick_waiter(waiters: "Deque[SimThread]", kind: str,
@@ -65,6 +86,9 @@ class Lock(SimObject):
     SIZE_BYTES = 64
     SANITIZE_FIELDS = False     # lock state IS the synchronization
 
+    __slots__ = ("_held", "_owner", "_waiters", "acquisitions",
+                 "contended_acquisitions", "_acquired_us", "_elide_ok")
+
     def __init__(self) -> None:
         self._held = False
         self._owner: Optional[SimThread] = None
@@ -72,8 +96,28 @@ class Lock(SimObject):
         self.acquisitions = 0
         self.contended_acquisitions = 0
         self._acquired_us = 0.0
+        #: Set by the kernel at creation when the active AmberElide
+        #: artifact proves this lock single-thread-reachable.
+        self._elide_ok = False
 
-    def acquire(self, ctx):
+    def acquire(self, ctx: "InvocationContext") -> _MaybeOp:
+        if self._elide_ok:
+            if not self._held:
+                self._held = True
+                self._owner = ctx.thread
+                self._acquired_us = ctx.now_us
+                self.acquisitions += 1
+                san = _analysis.ACTIVE
+                if san is not None:
+                    san.on_acquire(self, ctx.thread)
+                ctx.thread.surcharge_us += SYNC_OP_US
+                ctx.metrics.inc("lock_elided_total")
+                ctx.metrics.observe("lock_wait_us", 0.0)
+                return None
+            ctx.metrics.inc("lock_elide_bailout_total")
+        return self._acquire_slow(ctx)
+
+    def _acquire_slow(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         t0 = ctx.now_us
         contended = False
@@ -92,7 +136,27 @@ class Lock(SimObject):
             san.on_acquire(self, ctx.thread)
         ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
-    def release(self, ctx):
+    def release(self, ctx: "InvocationContext") -> _MaybeOp:
+        if self._elide_ok and not self._waiters:
+            if not self._held or self._owner is not ctx.thread:
+                raise SynchronizationError(
+                    f"release of lock {self.vaddr:#x} by non-owner "
+                    f"{ctx.thread.name}")
+            ctx.metrics.observe("lock_hold_us",
+                                ctx.now_us - self._acquired_us)
+            san = _analysis.ACTIVE
+            if san is not None:
+                san.on_release(self, ctx.thread)
+            self._held = False
+            self._owner = None
+            ctx.thread.surcharge_us += SYNC_OP_US
+            ctx.metrics.inc("lock_elided_total")
+            return None
+        if self._elide_ok:
+            ctx.metrics.inc("lock_elide_bailout_total")
+        return self._release_slow(ctx)
+
+    def _release_slow(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         if not self._held or self._owner is not ctx.thread:
             raise SynchronizationError(
@@ -108,7 +172,7 @@ class Lock(SimObject):
         if self._waiters:
             yield Wakeup(_pick_waiter(self._waiters, "lock", self.vaddr))
 
-    def try_acquire(self, ctx):
+    def try_acquire(self, ctx: "InvocationContext") -> bool:
         """Non-blocking attempt; returns True on success.  Atomic."""
         if self._held:
             return False
@@ -139,14 +203,35 @@ class SpinLock(SimObject):
     SIZE_BYTES = 64
     SANITIZE_FIELDS = False
 
+    __slots__ = ("_held", "_owner", "acquisitions", "spin_us",
+                 "_acquired_us", "_elide_ok")
+
     def __init__(self) -> None:
         self._held = False
         self._owner: Optional[SimThread] = None
         self.acquisitions = 0
         self.spin_us = 0.0
         self._acquired_us = 0.0
+        self._elide_ok = False
 
-    def acquire(self, ctx):
+    def acquire(self, ctx: "InvocationContext") -> _MaybeOp:
+        if self._elide_ok:
+            if not self._held:
+                self._held = True
+                self._owner = ctx.thread
+                self._acquired_us = ctx.now_us
+                self.acquisitions += 1
+                san = _analysis.ACTIVE
+                if san is not None:
+                    san.on_acquire(self, ctx.thread)
+                ctx.thread.surcharge_us += SYNC_OP_US
+                ctx.metrics.inc("lock_elided_total")
+                ctx.metrics.observe("lock_wait_us", 0.0)
+                return None
+            ctx.metrics.inc("lock_elide_bailout_total")
+        return self._acquire_slow(ctx)
+
+    def _acquire_slow(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         t0 = ctx.now_us
         while self._held:
@@ -161,7 +246,25 @@ class SpinLock(SimObject):
             san.on_acquire(self, ctx.thread)
         ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
-    def release(self, ctx):
+    def release(self, ctx: "InvocationContext") -> _MaybeOp:
+        if self._elide_ok:
+            if not self._held or self._owner is not ctx.thread:
+                raise SynchronizationError(
+                    f"release of spinlock {self.vaddr:#x} by non-owner "
+                    f"{ctx.thread.name}")
+            ctx.metrics.observe("lock_hold_us",
+                                ctx.now_us - self._acquired_us)
+            san = _analysis.ACTIVE
+            if san is not None:
+                san.on_release(self, ctx.thread)
+            self._held = False
+            self._owner = None
+            ctx.thread.surcharge_us += SYNC_OP_US
+            ctx.metrics.inc("lock_elided_total")
+            return None
+        return self._release_slow(ctx)
+
+    def _release_slow(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         if not self._held or self._owner is not ctx.thread:
             raise SynchronizationError(
@@ -188,6 +291,9 @@ class Barrier(SimObject):
     SIZE_BYTES = 64
     SANITIZE_FIELDS = False
 
+    __slots__ = ("parties", "_count", "_generation", "_waiting",
+                 "cycles")
+
     def __init__(self, parties: int) -> None:
         if parties < 1:
             raise SynchronizationError(
@@ -198,7 +304,8 @@ class Barrier(SimObject):
         self._waiting: List[SimThread] = []
         self.cycles = 0
 
-    def wait(self, ctx):
+    def wait(self, ctx: "InvocationContext"
+             ) -> Generator[Any, Any, bool]:
         yield Charge(SYNC_OP_US)
         t0 = ctx.now_us
         generation = self._generation
@@ -233,14 +340,35 @@ class Monitor(SimObject):
     SIZE_BYTES = 64
     SANITIZE_FIELDS = False
 
+    __slots__ = ("_held", "_owner", "_waiters", "entries",
+                 "_acquired_us", "_elide_ok")
+
     def __init__(self) -> None:
         self._held = False
         self._owner: Optional[SimThread] = None
         self._waiters: Deque[SimThread] = deque()
         self.entries = 0
         self._acquired_us = 0.0
+        self._elide_ok = False
 
-    def enter(self, ctx):
+    def enter(self, ctx: "InvocationContext") -> _MaybeOp:
+        if self._elide_ok:
+            if not self._held:
+                self._held = True
+                self._owner = ctx.thread
+                self._acquired_us = ctx.now_us
+                self.entries += 1
+                san = _analysis.ACTIVE
+                if san is not None:
+                    san.on_acquire(self, ctx.thread)
+                ctx.thread.surcharge_us += SYNC_OP_US
+                ctx.metrics.inc("lock_elided_total")
+                ctx.metrics.observe("lock_wait_us", 0.0)
+                return None
+            ctx.metrics.inc("lock_elide_bailout_total")
+        return self._enter_slow(ctx)
+
+    def _enter_slow(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         t0 = ctx.now_us
         while self._held:
@@ -255,7 +383,27 @@ class Monitor(SimObject):
             san.on_acquire(self, ctx.thread)
         ctx.metrics.observe("lock_wait_us", ctx.now_us - t0)
 
-    def exit(self, ctx):
+    def exit(self, ctx: "InvocationContext") -> _MaybeOp:
+        if self._elide_ok and not self._waiters:
+            if not self._held or self._owner is not ctx.thread:
+                raise SynchronizationError(
+                    f"exit of monitor {self.vaddr:#x} by non-owner "
+                    f"{ctx.thread.name}")
+            ctx.metrics.observe("lock_hold_us",
+                                ctx.now_us - self._acquired_us)
+            san = _analysis.ACTIVE
+            if san is not None:
+                san.on_release(self, ctx.thread)
+            self._held = False
+            self._owner = None
+            ctx.thread.surcharge_us += SYNC_OP_US
+            ctx.metrics.inc("lock_elided_total")
+            return None
+        if self._elide_ok:
+            ctx.metrics.inc("lock_elide_bailout_total")
+        return self._exit_slow(ctx)
+
+    def _exit_slow(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         if not self._held or self._owner is not ctx.thread:
             raise SynchronizationError(
@@ -285,11 +433,13 @@ class CondVar(SimObject):
     SIZE_BYTES = 64
     SANITIZE_FIELDS = False
 
+    __slots__ = ("monitor", "_waiting")
+
     def __init__(self, monitor: Monitor) -> None:
         self.monitor = monitor
         self._waiting: Deque[SimThread] = deque()
 
-    def wait(self, ctx):
+    def wait(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         if not self.monitor.holds(ctx.thread):
             raise SynchronizationError(
@@ -299,13 +449,13 @@ class CondVar(SimObject):
         yield Suspend("condvar")
         yield Invoke(self.monitor, "enter")
 
-    def signal(self, ctx):
+    def signal(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         if self._waiting:
             yield Wakeup(_pick_waiter(self._waiting, "condvar",
                                       self.vaddr))
 
-    def broadcast(self, ctx):
+    def broadcast(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         waiting, self._waiting = list(self._waiting), deque()
         for thread in waiting:
@@ -319,12 +469,14 @@ class ReaderWriterLock(SimObject):
     SIZE_BYTES = 64
     SANITIZE_FIELDS = False
 
+    __slots__ = ("_readers", "_writer", "_waiters")
+
     def __init__(self) -> None:
         self._readers = 0
         self._writer: Optional[SimThread] = None
         self._waiters: Deque[SimThread] = deque()
 
-    def acquire_read(self, ctx):
+    def acquire_read(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         while self._writer is not None:
             self._waiters.append(ctx.thread)
@@ -334,7 +486,7 @@ class ReaderWriterLock(SimObject):
         if san is not None:
             san.on_acquire(self, ctx.thread, order=False)
 
-    def release_read(self, ctx):
+    def release_read(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         if self._readers <= 0:
             raise SynchronizationError("release_read without readers")
@@ -346,7 +498,7 @@ class ReaderWriterLock(SimObject):
             for thread in self._drain():
                 yield Wakeup(thread)
 
-    def acquire_write(self, ctx):
+    def acquire_write(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         while self._writer is not None or self._readers > 0:
             self._waiters.append(ctx.thread)
@@ -356,7 +508,7 @@ class ReaderWriterLock(SimObject):
         if san is not None:
             san.on_acquire(self, ctx.thread)
 
-    def release_write(self, ctx):
+    def release_write(self, ctx: "InvocationContext") -> _Op:
         yield Charge(SYNC_OP_US)
         if self._writer is not ctx.thread:
             raise SynchronizationError("release_write by non-writer")

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.obs.profile import bucket_for_state
+from repro.sim.engine import NS_PER_US
 from repro.sim.objects import SimObject
 
 
@@ -31,7 +32,7 @@ class ThreadState(enum.Enum):
     DONE = "done"           # terminated
 
 
-@dataclass
+@dataclass(slots=True)
 class Activation:
     """One frame of a thread's stack: an operation executing on an object.
 
@@ -64,6 +65,22 @@ class SimThread(SimObject):
 
     #: Thread state is kernel bookkeeping, not user data (AmberSan).
     SANITIZE_FIELDS = False
+
+    # Hot-loop layout: every scheduling field below is read or written
+    # on each dispatch, so slot descriptors beat dict probes.  The
+    # SimObject base is unslotted, so instances keep a ``__dict__`` for
+    # the kernel-attached fields (``_vaddr`` and friends) — these slots
+    # only cover the per-instance state declared here.
+    __slots__ = (
+        "tid", "name", "priority", "_state", "location", "stack",
+        "send_value", "send_exc", "surcharge_us", "pending_compute_us",
+        "slice_left_us", "cpu", "run_token", "wakeup_pending",
+        "transit_target", "transit_path", "transit_hop", "on_arrival",
+        "transit_start_us", "home_probes", "invoke_t0", "invoke_remote",
+        "pending_invoke_metric", "invoke_seq", "resurrect_stack",
+        "carried_checkpoints", "result", "exception", "joiners",
+        "migrations", "invocations", "remote_invocations",
+        "state_time_us", "block_reason", "_clock", "_state_since_us")
 
     def __init__(self, tid: int, name: str = "", priority: int = 0):
         self.tid = tid
@@ -161,11 +178,17 @@ class SimThread(SimObject):
 
     @state.setter
     def state(self, new_state: ThreadState) -> None:
-        if self._clock is not None:
-            now_us = self._clock.now_us
-            bucket = bucket_for_state(self._state.value, self.block_reason)
+        clock = self._clock
+        if clock is not None:
+            # Inline now_us and classify the outgoing state only when
+            # time actually passed: most transitions (ready -> running
+            # on an idle CPU, chained kernel steps) happen within one
+            # event timestamp, and this setter runs on every one.
+            now_us = clock.now_ns / NS_PER_US
             elapsed = now_us - (self._state_since_us or 0.0)
             if elapsed > 0:
+                bucket = bucket_for_state(self._state.value,
+                                          self.block_reason)
                 self.state_time_us[bucket] = \
                     self.state_time_us.get(bucket, 0.0) + elapsed
             self._state_since_us = now_us

@@ -1,0 +1,309 @@
+"""AmberElide: classification, artifact hygiene, runtime elision.
+
+The dynamic suite itself lives in ``repro.analyze.elide.scenario``
+(``repro elide --verify``); these tests pin the load-bearing unit
+behaviors — cross-process artifact determinism, loads that never
+raise, stale artifacts that disable silently, and the on/off
+equivalence of the elision fast paths.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.elide import runtime as ert
+from repro.analyze.elide.artifact import (
+    ELIDE_SCHEMA,
+    ElideArtifact,
+    build_artifact,
+    load_artifact,
+)
+from repro.analyze.elide.diagnostics import diagnose
+from repro.analyze.elide.fixtures import FIXTURES
+from repro.analyze.elide.model import classify_sources
+from repro.analyze.elide.scenario import run_elide_scenarios
+from repro.sim.cluster import ClusterConfig
+from repro.sim.program import AmberProgram
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_activation():
+    """Every test starts and ends with no elision set active."""
+    if ert.active() is not None:
+        ert.deactivate()
+    yield
+    if ert.active() is not None:
+        ert.deactivate()
+
+
+def _fixture_artifact(name):
+    fx = FIXTURES[name]
+    return build_artifact(classify_sources(fx.sources()), fx.sources())
+
+
+def _run_main(main, nodes=2, cpus_per_node=2):
+    config = ClusterConfig(nodes=nodes, cpus_per_node=cpus_per_node)
+    result = AmberProgram(config).run(main)
+    counters = result.cluster.metrics.counters
+    return {
+        "value": result.value,
+        "elapsed_us": result.elapsed_us,
+        "events": result.cluster.sim.events_run,
+        "elided": (counters["lock_elided_total"].value
+                   if "lock_elided_total" in counters else 0),
+        "bailouts": (counters["lock_elide_bailout_total"].value
+                     if "lock_elide_bailout_total" in counters else 0),
+    }
+
+
+def _run(name):
+    fx = FIXTURES[name]
+    return _run_main(fx.load_main(), nodes=fx.nodes,
+                     cpus_per_node=fx.cpus_per_node)
+
+
+class TestClassification:
+    def test_confined_counter_lock_is_elidable(self):
+        fx = FIXTURES["confined-counter"]
+        model = classify_sources(fx.sources())
+        assert set(model.confined) == {"Tally"}
+        artifact = build_artifact(model, fx.sources())
+        assert artifact.lock_owners == [(ert.MAIN_OWNER, "Lock")]
+
+    def test_shared_pool_lock_is_not_elidable(self):
+        artifact = _fixture_artifact("shared-pool")
+        assert artifact.lock_owners == []
+        assert "JobPool" not in artifact.confined
+
+    def test_immutable_table_classes(self):
+        fx = FIXTURES["immutable-table"]
+        model = classify_sources(fx.sources())
+        assert set(model.immutable) == {"SumTable", "TableReader"}
+
+    def test_every_fixture_matches_its_catalog_entry(self):
+        for fx in FIXTURES.values():
+            model = classify_sources(fx.sources())
+            findings = diagnose(model, fx.sources())
+            assert sorted(f.rule for f in findings) == \
+                sorted(fx.expected_rules), fx.name
+            assert set(model.confined) == set(fx.confined), fx.name
+            assert set(model.immutable) == set(fx.immutable), fx.name
+            artifact = build_artifact(model, fx.sources())
+            assert artifact.lock_owners == \
+                sorted(fx.elidable_owners), fx.name
+
+    def test_container_append_leaks_lock(self):
+        sources = [("<case>", (
+            "from repro.sim.sync import Lock\n"
+            "def main(ctx):\n"
+            "    stash = []\n"
+            "    gate = yield New(Lock)\n"
+            "    stash.append(gate)\n"
+            "    yield Invoke(gate, 'acquire')\n"
+            "    yield Invoke(gate, 'release')\n"))]
+        artifact = build_artifact(classify_sources(sources), sources)
+        assert artifact.lock_owners == []
+
+
+class TestArtifact:
+    def test_byte_identical_across_processes(self, tmp_path):
+        """Two freshly started interpreters must emit the same bytes:
+        no dict-order, hash-seed, or id() dependence anywhere."""
+        script = (
+            "import sys\n"
+            "from repro.analyze.elide.artifact import build_artifact\n"
+            "from repro.analyze.elide.fixtures import FIXTURES\n"
+            "from repro.analyze.elide.model import classify_sources\n"
+            "for fx in FIXTURES.values():\n"
+            "    art = build_artifact(classify_sources(fx.sources()),\n"
+            "                         fx.sources())\n"
+            "    sys.stdout.write(art.fingerprint + '\\n')\n"
+            "    sys.stdout.write(art.to_json())\n")
+        outs = []
+        for seed in ("0", "1"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, cwd=str(REPO),
+                env={"PYTHONPATH": str(REPO / "src"),
+                     "PYTHONHASHSEED": seed},
+                timeout=120)
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+
+    @pytest.mark.parametrize("text", [
+        "", "{", "[1, 2, 3]", "null", "\x00\x01",
+        '{"schema": "amberelide/99"}',
+    ])
+    def test_load_never_raises(self, tmp_path, text):
+        path = tmp_path / "artifact.json"
+        path.write_text(text)
+        artifact = load_artifact(str(path))
+        assert not artifact.valid
+
+    def test_load_tolerates_mistyped_fields(self, tmp_path):
+        """Right schema, hostile field types: loads without raising
+        and carries no elision facts."""
+        path = tmp_path / "artifact.json"
+        path.write_text('{"schema": "amberelide/1", "locks": "nope", '
+                        '"sources": 7, "confined": 3, '
+                        '"immutable": {"x": 1}}')
+        artifact = load_artifact(str(path))
+        assert artifact.valid
+        assert artifact.lock_owners == []
+        assert artifact.skip_classes == []
+
+    def test_load_missing_file(self, tmp_path):
+        artifact = load_artifact(str(tmp_path / "absent.json"))
+        assert not artifact.valid
+
+    def test_truncated_roundtrip(self, tmp_path):
+        good = _fixture_artifact("confined-counter")
+        path = tmp_path / "artifact.json"
+        path.write_text(good.to_json()[:-25])
+        assert not load_artifact(str(path)).valid
+
+    def test_roundtrip_preserves_fingerprint(self, tmp_path):
+        good = _fixture_artifact("scratch-workers")
+        path = tmp_path / "artifact.json"
+        path.write_text(good.to_json())
+        loaded = load_artifact(str(path))
+        assert loaded.valid
+        assert loaded.fingerprint == good.fingerprint
+        assert loaded.to_json() == good.to_json()
+
+    def test_stale_source_disables_silently(self):
+        fx = FIXTURES["confined-counter"]
+        artifact = _fixture_artifact("confined-counter")
+        before = ert.STALE_DISABLES
+        ok = artifact.activate(
+            source_texts={fx.path: fx.source + "\n# drift\n"})
+        assert ok is False
+        assert ert.active() is None
+        assert ert.STALE_DISABLES == before + 1
+
+    def test_invalid_schema_never_activates(self):
+        artifact = ElideArtifact(schema="amberelide/2")
+        assert artifact.activate() is False
+        assert ert.active() is None
+
+    def test_double_activation_rejected(self):
+        fx = FIXTURES["confined-counter"]
+        artifact = _fixture_artifact("confined-counter")
+        assert artifact.activate(source_texts=dict(fx.sources()))
+        with pytest.raises(RuntimeError):
+            ert.activate(artifact.to_elide_set())
+        ert.deactivate()
+
+    def test_audit_mode_skips_nothing(self):
+        fx = FIXTURES["confined-counter"]
+        artifact = _fixture_artifact("confined-counter")
+        assert artifact.activate(source_texts=dict(fx.sources()),
+                                 audit=True)
+        assert ert.SKIP == frozenset()
+        assert ert.LOCK_OWNERS  # elision itself stays on in audit
+        ert.deactivate()
+
+
+class TestElisionRuntime:
+    @pytest.mark.parametrize("name", ["confined-counter",
+                                      "scratch-workers"])
+    def test_elision_is_unobservable_but_cheaper(self, name):
+        fx = FIXTURES[name]
+        off = _run(name)
+        artifact = _fixture_artifact(name)
+        assert artifact.activate(source_texts=dict(fx.sources()))
+        try:
+            on = _run(name)
+        finally:
+            ert.deactivate()
+        assert off["value"] == on["value"] == fx.expect_result
+        assert off["elapsed_us"] == on["elapsed_us"]
+        assert on["events"] < off["events"]
+        assert on["elided"] > 0
+        assert on["bailouts"] == 0
+        assert off["elided"] == 0
+
+    @pytest.mark.parametrize("name", ["shared-pool", "immutable-table"])
+    def test_unelidable_fixtures_run_identically(self, name):
+        fx = FIXTURES[name]
+        off = _run(name)
+        artifact = _fixture_artifact(name)
+        assert artifact.activate(source_texts=dict(fx.sources()))
+        try:
+            on = _run(name)
+        finally:
+            ert.deactivate()
+        assert off == on
+        assert on["elided"] == 0
+
+    # Guaranteed contention: each holder keeps the gate across a long
+    # charge, that dwarfs fork latency, so the second holder's
+    # acquire always sees it held.
+    _CONTENDED = (
+        "from repro.sim import SimObject\n"
+        "from repro.sim.syscalls import Charge, Fork, Invoke, Join, New\n"
+        "from repro.sim.sync import Lock\n"
+        "class Holder(SimObject):\n"
+        "    def __init__(self, gate) -> None:\n"
+        "        self.gate = gate\n"
+        "    def run(self, ctx):\n"
+        "        yield Invoke(self.gate, 'acquire')\n"
+        "        yield Charge(100000.0)\n"
+        "        yield Invoke(self.gate, 'release')\n"
+        "        return 1\n"
+        "def main(ctx):\n"
+        "    gate = yield New(Lock)\n"
+        "    threads = []\n"
+        "    for index in range(2):\n"
+        "        holder = yield New(Holder, gate, on_node=index)\n"
+        "        threads.append((yield Fork(holder, 'run')))\n"
+        "    total = 0\n"
+        "    for thread in threads:\n"
+        "        total += yield Join(thread)\n"
+        "    return total\n")
+
+    def _contended_main(self):
+        namespace = {}
+        exec(compile(self._CONTENDED, "<contended>", "exec"), namespace)
+        return namespace["main"]
+
+    def test_contended_elided_lock_bails_out_correctly(self):
+        """Force-mark a genuinely contended lock elidable: mutual
+        exclusion must still hold (the held-lock fast path bails to
+        the slow generator) and the program result must not change."""
+        off = _run_main(self._contended_main())
+        ert.activate(ert.ElideSet(
+            skip_classes=frozenset(),
+            lock_owners=frozenset({(ert.MAIN_OWNER, "Lock")}),
+            confined=frozenset(), immutable=frozenset(),
+            fingerprint="forced"), audit=False)
+        try:
+            on = _run_main(self._contended_main())
+        finally:
+            ert.deactivate()
+        assert on["value"] == off["value"] == 2
+        assert on["elapsed_us"] == off["elapsed_us"]
+        assert on["bailouts"] > 0
+
+
+class TestScenarioSuite:
+    def test_fast_suite_passes(self):
+        report = run_elide_scenarios()
+        assert report.ok, report.render()
+        assert {o.name for o in report.outcomes} == {
+            "deterministic-analysis", "fixture-catalog",
+            "artifact-roundtrip", "hint-promotion", "soundness-audit"}
+        assert report.artifact.schema == ELIDE_SCHEMA
+
+    def test_report_json_shape(self):
+        report = run_elide_scenarios(paths=["src/repro/apps"])
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["schema"] == "amberelide-report/1"
+        assert payload["artifact"]["schema"] == ELIDE_SCHEMA
+        assert all(o["ok"] for o in payload["outcomes"])

@@ -192,6 +192,61 @@ def op(self, ctx, lock, store):
     yield Invoke(lock, "release")
 """) == []
 
+
+class TestAMB109:
+    def test_write_after_seal(self):
+        assert rules_of("""
+def build(self, ctx):
+    table = yield New(Table, 8)
+    yield SetImmutable(table)
+    table.rows = []
+""") == [("AMB109", 5)]
+
+    def test_self_field_write_after_sealing_self(self):
+        assert rules_of("""
+def seal(self, ctx):
+    yield SetImmutable(self)
+    self.sealed = True
+""") == [("AMB109", 4)]
+
+    def test_augmented_write_after_seal(self):
+        assert rules_of("""
+def bump(self, ctx, table):
+    yield SetImmutable(table)
+    table.version += 1
+""") == [("AMB109", 4)]
+
+    def test_live_runtime_seal_idiom(self):
+        assert rules_of("""
+def publish(cluster, handle):
+    cluster.set_immutable(handle)
+    handle.extra = 1
+""") == [("AMB109", 4)]
+
+    def test_write_before_seal_is_fine(self):
+        assert rules_of("""
+def build(self, ctx):
+    table = yield New(Table, 8)
+    table.rows = []
+    yield SetImmutable(table)
+""") == []
+
+    def test_other_object_write_is_fine(self):
+        assert rules_of("""
+def build(self, ctx, scratch):
+    table = yield New(Table, 8)
+    yield SetImmutable(table)
+    scratch.rows = []
+""") == []
+
+    def test_noqa_suppresses(self):
+        assert rules_of("""
+def build(self, ctx):
+    table = yield New(Table, 8)
+    yield SetImmutable(table)
+    table.rows = []  # repro: noqa[AMB109]
+""") == []
+
     def test_invoke_after_release_is_fine(self):
         assert rules_of("""
 def op(self, ctx, spin: SpinLock, store):
@@ -378,7 +433,7 @@ class TestHarness:
     def test_rule_catalogue_is_complete(self):
         assert set(RULES) == {"AMB101", "AMB102", "AMB103",
                               "AMB104", "AMB105", "AMB106", "AMB107",
-                              "AMB108"}
+                              "AMB108", "AMB109"}
 
     def test_syntax_error_is_reported_not_raised(self):
         findings = lint_source("def broken(:\n", "bad.py")
